@@ -1,0 +1,113 @@
+(* Benchmark harness entry point.
+
+   1. Runs the reproduction experiments E1-E9 (each regenerates one of
+      the paper's claims as a printed table; see EXPERIMENTS.md).
+   2. Runs Bechamel micro-benchmarks of the performance-critical
+      substrate: max-flow solvers, allocation construction and the
+      simulator round loop.
+
+   Run with:  dune exec bench/main.exe
+   Skip micro-benchmarks with:  dune exec bench/main.exe -- --no-micro *)
+
+open Vod
+
+let make_matching_instance ~seed ~n_left ~n_right =
+  let g = Prng.create ~seed () in
+  let right_cap = Array.init n_right (fun _ -> 1 + Prng.int g 4) in
+  let inst = Bipartite.create ~n_left ~n_right ~right_cap in
+  for l = 0 to n_left - 1 do
+    let deg = 1 + Prng.int g 4 in
+    for _ = 1 to deg do
+      Bipartite.add_edge inst ~left:l ~right:(Prng.int g n_right)
+    done
+  done;
+  inst
+
+let micro_benchmarks () =
+  let open Bechamel in
+  let solver_test name algorithm =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let inst = make_matching_instance ~seed:3 ~n_left:512 ~n_right:128 in
+           ignore (Bipartite.solve ~algorithm inst)))
+  in
+  let alloc_test =
+    Test.make ~name:"random_permutation n=256 m=256 c=2 k=4"
+      (Staged.stage (fun () ->
+           let g = Prng.create ~seed:5 () in
+           let fleet = Box.Fleet.homogeneous ~n:256 ~u:2.0 ~d:4.0 in
+           let catalog = Catalog.create ~m:256 ~c:2 in
+           ignore (Schemes.random_permutation g ~fleet ~catalog ~k:4)))
+  in
+  let step_test =
+    Test.make ~name:"engine: 20 rounds, n=64, zipf load"
+      (Staged.stage (fun () ->
+           let fleet = Box.Fleet.homogeneous ~n:64 ~u:2.0 ~d:4.0 in
+           let catalog = Catalog.create ~m:32 ~c:2 in
+           let g = Prng.create ~seed:7 () in
+           let alloc = Schemes.random_permutation g ~fleet ~catalog ~k:4 in
+           let params = Params.make ~n:64 ~c:2 ~mu:1.5 ~duration:15 in
+           let sim = Engine.create ~params ~fleet ~alloc ~policy:Engine.Continue () in
+           let wg = Prng.create ~seed:9 () in
+           let gen = Generators.zipf_arrivals wg ~rate:2.0 ~s:0.9 in
+           ignore (Engine.run sim ~rounds:20 ~demands_for:gen)))
+  in
+  let ring_test =
+    Test.make ~name:"dht: 400 lookups on a 1024-node ring"
+      (Staged.stage (fun () ->
+           let d = Directory.create ~nodes:(List.init 1024 Fun.id) in
+           let g = Prng.create ~seed:11 () in
+           for _ = 1 to 400 do
+             ignore (Directory.resolve d ~origin:(Prng.int g 1024) ~stripe:(Prng.int g 100_000))
+           done))
+  in
+  let obstruction_test =
+    Test.make ~name:"union bound n=64 c=2 k=8"
+      (Staged.stage (fun () ->
+           ignore
+             (Obstruction_bound.log_union_bound ~u_eff:2.0 ~nu:(1.0 /. 12.0) ~n:64 ~c:2
+                ~k:8 ~m:16)))
+  in
+  let tests =
+    Test.make_grouped ~name:"vod"
+      [
+        solver_test "matching: dinic 512x128" Bipartite.Dinic_flow;
+        solver_test "matching: push-relabel 512x128" Bipartite.Push_relabel_flow;
+        solver_test "matching: hopcroft-karp 512x128" Bipartite.Hopcroft_karp_matching;
+        alloc_test;
+        step_test;
+        ring_test;
+        obstruction_test;
+      ]
+  in
+  let benchmark () =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:(Some 300) () in
+    Benchmark.all cfg instances tests
+  in
+  let analyze results =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  print_newline ();
+  print_endline "=== Bechamel micro-benchmarks (monotonic clock, ns/run) ===";
+  let results = analyze (benchmark ()) in
+  Hashtbl.iter
+    (fun name ols ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-42s %12.0f ns/run\n" name est
+      | _ -> Printf.printf "%-42s (no estimate)\n" name)
+    results
+
+let () =
+  let no_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
+  print_endline "Reproduction harness for:";
+  print_endline
+    "  Boufkhad, Mathieu, de Montgolfier, Perino, Viennot.\n\
+    \  \"An Upload Bandwidth Threshold for Peer-to-Peer Video-on-Demand\n\
+    \  Scalability\", IPDPS 2009.";
+  Experiments.run_all ();
+  if not no_micro then micro_benchmarks ();
+  print_newline ();
+  print_endline
+    "All experiments completed. See EXPERIMENTS.md for the paper-vs-measured record."

@@ -1,0 +1,534 @@
+(* vodctl — command-line front end to the library.
+
+   Subcommands:
+     bounds    derive the Theorem 1/2 parameters and the union bound
+     allocate  build an allocation and report balance + adversarial audit
+     simulate  drive a workload through the round engine
+     attack    drive an adversarial generator and report the outcome
+     sweep     threshold sweep over the upload capacity u              *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let n_arg =
+  Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Number of boxes.")
+
+let u_arg =
+  Arg.(
+    value
+    & opt float 2.0
+    & info [ "u" ] ~docv:"U" ~doc:"Normalised upload capacity of a box.")
+
+let d_arg =
+  Arg.(
+    value
+    & opt float 4.0
+    & info [ "d" ] ~docv:"D" ~doc:"Storage capacity of a box, in videos.")
+
+let c_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "c" ] ~docv:"C"
+        ~doc:"Stripes per video; defaults to the Theorem 1 recommendation.")
+
+let k_arg =
+  Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"Replicas per stripe.")
+
+let m_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "m" ] ~docv:"M" ~doc:"Catalog size; defaults to the storage bound dn/(k).")
+
+let mu_arg =
+  Arg.(
+    value & opt float 1.2 & info [ "mu" ] ~docv:"MU" ~doc:"Maximal swarm growth per round.")
+
+let duration_arg =
+  Arg.(
+    value & opt int 30 & info [ "duration" ] ~docv:"T" ~doc:"Video duration in rounds.")
+
+let rounds_arg =
+  Arg.(value & opt int 100 & info [ "rounds" ] ~docv:"R" ~doc:"Rounds to simulate.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let scheme_arg =
+  let schemes =
+    [
+      ("permutation", Vod.System.Permutation);
+      ("independent", Vod.System.Independent);
+      ("round-robin", Vod.System.Round_robin);
+      ("full-replication", Vod.System.Full_replication);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum schemes) Vod.System.Permutation
+    & info [ "scheme" ] ~docv:"SCHEME"
+        ~doc:"Allocation scheme: $(b,permutation), $(b,independent), \
+              $(b,round-robin) or $(b,full-replication).")
+
+let default_c ~u ~mu =
+  if u > 1.0 then min 16 (Vod.Theorem1.recommended_c ~u ~mu) else 2
+
+let build_system ~n ~u ~d ~c ~k ~m ~mu ~duration ~seed ~scheme =
+  let c = match c with Some c -> c | None -> default_c ~u ~mu in
+  let params = Vod.Params.make ~n ~c ~mu ~duration in
+  let fleet = Vod.Box.Fleet.homogeneous ~n ~u ~d in
+  let m =
+    match m with Some m -> m | None -> Vod.Schemes.max_catalog ~fleet ~c ~k
+  in
+  let catalog = Vod.Catalog.create ~m ~c in
+  let g = Vod.Prng.create ~seed () in
+  let alloc =
+    match scheme with
+    | Vod.System.Permutation -> Vod.Schemes.random_permutation g ~fleet ~catalog ~k
+    | Vod.System.Independent -> Vod.Schemes.random_independent g ~fleet ~catalog ~k
+    | Vod.System.Round_robin -> Vod.Schemes.round_robin ~fleet ~catalog ~k
+    | Vod.System.Full_replication -> Vod.Schemes.full_replication ~fleet ~catalog
+  in
+  (params, fleet, alloc)
+
+(* ------------------------------------------------------------------ *)
+(* bounds                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let bounds_cmd =
+  let run n u d mu u_star =
+    if u <= 1.0 then begin
+      Printf.printf "u = %g <= 1: below the threshold.\n" u;
+      Printf.printf
+        "The catalog is bounded by m <= d*c for any stripe count c (negative result);\n";
+      Printf.printf "e.g. c=4 gives m <= %d.\n"
+        (Vod.Theorem1.max_catalog_below_threshold ~d_max:d ~c:4);
+      `Ok ()
+    end
+    else begin
+      let t1 = Vod.Theorem1.derive ~u ~mu ~d () in
+      Printf.printf "Theorem 1 (homogeneous, u = %g > 1, mu = %g, d = %g):\n" u mu d;
+      Printf.printf "  stripes            c  = %d\n" t1.Vod.Theorem1.c;
+      Printf.printf "  expansion margin   nu = %.5f\n" t1.Vod.Theorem1.nu;
+      Printf.printf "  effective upload   u' = %.4f\n" t1.Vod.Theorem1.u_eff;
+      Printf.printf "  d'                    = %.4f\n" t1.Vod.Theorem1.d_prime;
+      Printf.printf "  replication bound  k  = %d\n" t1.Vod.Theorem1.k;
+      Printf.printf "  catalog at n=%d       = %d videos (dn/k)\n" n
+        (Vod.Theorem1.catalog_size t1 ~n);
+      let m = max 1 (int_of_float (d *. float_of_int n) / 8) in
+      (match
+         Vod.Obstruction_bound.min_k_for_target ~u_eff:t1.Vod.Theorem1.u_eff
+           ~nu:t1.Vod.Theorem1.nu ~n ~c:t1.Vod.Theorem1.c ~m ~target_log:(log 0.01)
+       with
+      | Some k ->
+          Printf.printf
+            "  numeric union bound: k = %d certifies P(obstruction) < 1%% at m = %d\n" k m
+      | None -> Printf.printf "  numeric union bound: no k <= 10000 certifies m = %d\n" m);
+      (match u_star with
+      | None -> ()
+      | Some u_star ->
+          let t2 = Vod.Theorem2.derive ~u_star ~mu ~d () in
+          Printf.printf "\nTheorem 2 (heterogeneous, u* = %g):\n" u_star;
+          Printf.printf "  stripes            c  = %d\n" t2.Vod.Theorem2.c;
+          Printf.printf "  expansion margin   nu = %.6f\n" t2.Vod.Theorem2.nu;
+          Printf.printf "  replication bound  k  = %d\n" t2.Vod.Theorem2.k;
+          Printf.printf "  catalog at n=%d       = %d videos\n" n
+            (Vod.Theorem2.catalog_size t2 ~n));
+      `Ok ()
+    end
+  in
+  let u_star_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold" ] ~docv:"USTAR" ~doc:"Also derive Theorem 2 at this deficiency threshold u*.")
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Derive the paper's parameter prescriptions.")
+    Term.(ret (const run $ n_arg $ u_arg $ d_arg $ mu_arg $ u_star_arg))
+
+(* ------------------------------------------------------------------ *)
+(* allocate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let allocate_cmd =
+  let run n u d c k m mu seed scheme trials save =
+    try
+      let params, fleet, alloc =
+        build_system ~n ~u ~d ~c ~k ~m ~mu ~duration:30 ~seed ~scheme
+      in
+      let c = params.Vod.Params.c in
+      let cat = Vod.Allocation.catalog alloc in
+      Printf.printf "allocated %d videos x %d stripes x k replicas on %d boxes\n"
+        (Vod.Catalog.videos cat) c n;
+      let b = Vod.Balance.measure alloc ~fleet ~c in
+      Format.printf "balance: %a@." Vod.Balance.pp b;
+      let mn, mx, mean = Vod.Balance.replica_spread alloc in
+      Printf.printf "replicas per stripe: min %d, max %d, mean %.2f\n" mn mx mean;
+      (match Vod.Allocation.validate alloc ~fleet ~c with
+      | Ok () -> print_endline "validation: OK"
+      | Error e -> Printf.printf "validation: FAILED (%s)\n" e);
+      let g = Vod.Prng.create ~seed:(seed + 1) () in
+      let ok = Vod.Probe.survives_battery g ~fleet ~alloc ~c ~trials in
+      Printf.printf "adversarial audit (%d random probes + worst-case probes): %s\n"
+        trials
+        (if ok then "PASS" else "FAIL");
+      (match save with
+      | None -> ()
+      | Some path ->
+          Vod.Codec.save alloc ~path;
+          Printf.printf "allocation written to %s\n" path);
+      `Ok ()
+    with Invalid_argument e -> `Error (false, e)
+  in
+  let trials_arg =
+    Arg.(value & opt int 20 & info [ "trials" ] ~doc:"Random adversarial probes.")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Write the allocation to FILE (text format).")
+  in
+  Cmd.v
+    (Cmd.info "allocate" ~doc:"Build an allocation; report balance and audit it.")
+    Term.(
+      ret
+        (const run $ n_arg $ u_arg $ d_arg $ c_arg $ k_arg $ m_arg $ mu_arg $ seed_arg
+       $ scheme_arg $ trials_arg $ save_arg))
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let workload_arg =
+  Arg.(
+    value
+    & opt (enum [ ("zipf", `Zipf); ("uniform", `Uniform); ("flash", `Flash) ]) `Zipf
+    & info [ "workload" ] ~docv:"KIND"
+        ~doc:"Demand generator: $(b,zipf), $(b,uniform) or $(b,flash).")
+
+let rate_arg =
+  Arg.(
+    value & opt float 2.0 & info [ "rate" ] ~docv:"RATE" ~doc:"Mean arrivals per round.")
+
+let simulate_cmd =
+  let run n u d c k m mu duration rounds seed scheme workload rate csv load =
+    try
+      let params, fleet, alloc =
+        match load with
+        | None -> build_system ~n ~u ~d ~c ~k ~m ~mu ~duration ~seed ~scheme
+        | Some path -> (
+            match Vod.Codec.load ~path with
+            | Error e -> failwith (Printf.sprintf "cannot load %s: %s" path e)
+            | Ok alloc ->
+                let n = Vod.Allocation.n_boxes alloc in
+                let c =
+                  Vod.Catalog.stripes_per_video (Vod.Allocation.catalog alloc)
+                in
+                let params = Vod.Params.make ~n ~c ~mu ~duration in
+                let fleet = Vod.Box.Fleet.homogeneous ~n ~u ~d in
+                (params, fleet, alloc))
+      in
+      let sim =
+        Vod.Engine.create ~params ~fleet ~alloc ~policy:Vod.Engine.Continue ()
+      in
+      let g = Vod.Prng.create ~seed:(seed + 7) () in
+      let gen =
+        match workload with
+        | `Zipf -> Vod.Generators.zipf_arrivals g ~rate ~s:0.9
+        | `Uniform -> Vod.Generators.uniform_arrivals g ~rate
+        | `Flash -> Vod.Generators.flash_crowd g ~video:0 ~background_rate:rate ()
+      in
+      let trace = Vod.Trace.create () in
+      Vod.Trace.run trace sim ~rounds ~demands_for:gen;
+      let metrics = Vod.Trace.summarise trace in
+      Format.printf "%a@." Vod.Metrics.pp metrics;
+      Printf.printf "peak active stripe requests: %d (mean %.1f)\n"
+        metrics.Vod.Metrics.peak_active metrics.Vod.Metrics.mean_active;
+      Printf.printf "swarming share: %.1f%%\n" (100.0 *. metrics.Vod.Metrics.cache_share);
+      let delays = Vod.Engine.startup_delays sim in
+      if Array.length delays > 0 then begin
+        let fdelays = Array.map float_of_int delays in
+        Printf.printf "start-up delay (rounds until all stripes stream): mean %.2f, max %.0f\n"
+          (Vod.Stats.mean fdelays)
+          (Array.fold_left Float.max 0.0 fdelays)
+      end;
+      (match metrics.Vod.Metrics.first_failure with
+      | None -> print_endline "verdict: every request served on time"
+      | Some t -> Printf.printf "verdict: first failed round at t = %d\n" t);
+      (match csv with
+      | None -> ()
+      | Some path ->
+          Vod.Trace.save_csv trace ~path;
+          Printf.printf "per-round trace written to %s\n" path);
+      `Ok ()
+    with
+    | Invalid_argument e -> `Error (false, e)
+    | Failure e -> `Error (false, e)
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write the per-round trace to FILE as CSV.")
+  in
+  let load_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load" ] ~docv:"FILE"
+          ~doc:"Load the allocation from FILE (written by allocate --save) instead of \
+                generating one; -n/-c/-k/-m/--scheme are then ignored.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a demand workload through the round engine.")
+    Term.(
+      ret
+        (const run $ n_arg $ u_arg $ d_arg $ c_arg $ k_arg $ m_arg $ mu_arg
+       $ duration_arg $ rounds_arg $ seed_arg $ scheme_arg $ workload_arg $ rate_arg
+       $ csv_arg $ load_arg))
+
+(* ------------------------------------------------------------------ *)
+(* attack                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let attack_cmd =
+  let run n u d c k m mu duration rounds seed scheme attack =
+    try
+      let params, fleet, alloc =
+        build_system ~n ~u ~d ~c ~k ~m ~mu ~duration ~seed ~scheme
+      in
+      let sim =
+        Vod.Engine.create ~params ~fleet ~alloc ~policy:Vod.Engine.Continue ()
+      in
+      let g = Vod.Prng.create ~seed:(seed + 13) () in
+      let gen =
+        match attack with
+        | `Uncovered -> Vod.Attacks.uncovered
+        | `Tight -> Vod.Attacks.tight_server_set g
+        | `Stampede -> Vod.Attacks.stampede ~video:0
+      in
+      let reports = Vod.Engine.run sim ~rounds ~demands_for:gen in
+      let metrics = Vod.Metrics.summarise reports in
+      Format.printf "%a@." Vod.Metrics.pp metrics;
+      if metrics.Vod.Metrics.total_unserved = 0 then
+        print_endline "verdict: the system RESISTS this adversary"
+      else begin
+        Printf.printf "verdict: DEFEATED (first failure at round %s)\n"
+          (match metrics.Vod.Metrics.first_failure with
+          | Some t -> string_of_int t
+          | None -> "?");
+        match Vod.Engine.last_violator sim with
+        | None -> ()
+        | Some v ->
+            Printf.printf
+              "Hall certificate: %d requests over %d server boxes with only %d slots\n"
+              (List.length v.Vod.Bipartite.requests)
+              (List.length v.Vod.Bipartite.servers)
+              v.Vod.Bipartite.server_slots
+      end;
+      `Ok ()
+    with Invalid_argument e -> `Error (false, e)
+  in
+  let attack_arg =
+    Arg.(
+      value
+      & opt
+          (enum [ ("uncovered", `Uncovered); ("tight", `Tight); ("stampede", `Stampede) ])
+          `Uncovered
+      & info [ "attack" ] ~docv:"KIND"
+          ~doc:
+            "Adversary: $(b,uncovered) (each box demands a video it does not store), \
+             $(b,tight) (concentrate on scarce server sets) or $(b,stampede) \
+             (everyone on one video, ignoring mu).")
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Drive an adversarial demand sequence against the system.")
+    Term.(
+      ret
+        (const run $ n_arg $ u_arg $ d_arg $ c_arg $ k_arg $ m_arg $ mu_arg
+       $ duration_arg $ rounds_arg $ seed_arg $ scheme_arg $ attack_arg))
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let run n d c k seed lo hi steps =
+    if steps < 2 then `Error (false, "need at least 2 steps")
+    else begin
+      let c = match c with Some c -> c | None -> 2 in
+      let tbl =
+        Vod.Table.create
+          ~columns:
+            [
+              ("u", Vod.Table.Right);
+              ("m", Vod.Table.Right);
+              ("survives battery", Vod.Table.Left);
+            ]
+      in
+      for i = 0 to steps - 1 do
+        let u = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (steps - 1)) in
+        let fleet = Vod.Box.Fleet.homogeneous ~n ~u ~d in
+        let m = n in
+        let catalog = Vod.Catalog.create ~m ~c in
+        let g = Vod.Prng.create ~seed:(seed + i) () in
+        match Vod.Schemes.random_permutation g ~fleet ~catalog ~k with
+        | alloc ->
+            let ok = Vod.Probe.survives_battery g ~fleet ~alloc ~c ~trials:10 in
+            Vod.Table.add_row tbl
+              [
+                Vod.Table.fmt_float ~decimals:2 u;
+                string_of_int m;
+                (if ok then "yes" else "NO");
+              ]
+        | exception Invalid_argument _ ->
+            Vod.Table.add_row tbl
+              [ Vod.Table.fmt_float ~decimals:2 u; string_of_int m; "(does not fit)" ]
+      done;
+      Vod.Table.print
+        ~title:(Printf.sprintf "Threshold sweep: m = n = %d, c = %d, k = %d" n c k)
+        tbl;
+      `Ok ()
+    end
+  in
+  let lo_arg = Arg.(value & opt float 0.5 & info [ "from" ] ~docv:"LO" ~doc:"Lowest u.") in
+  let hi_arg = Arg.(value & opt float 3.0 & info [ "to" ] ~docv:"HI" ~doc:"Highest u.") in
+  let steps_arg = Arg.(value & opt int 9 & info [ "steps" ] ~doc:"Sweep points.") in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep the upload capacity across the threshold.")
+    Term.(
+      ret (const run $ n_arg $ d_arg $ c_arg $ k_arg $ seed_arg $ lo_arg $ hi_arg $ steps_arg))
+
+(* ------------------------------------------------------------------ *)
+(* plan                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let plan_cmd =
+  let run n u d mu =
+    if u <= 1.0 then
+      `Error
+        ( false,
+          Printf.sprintf
+            "u = %g <= 1 is below the threshold: only constant catalogs m <= d*c exist" u )
+    else begin
+      let t1 = Vod.Theorem1.derive ~u ~mu ~d () in
+      Printf.printf "plan for n = %d boxes (u = %g, d = %g, mu = %g):\n\n" n u d mu;
+      Printf.printf "guaranteed (Theorem 1): c = %d, k = %d -> %d videos\n"
+        t1.Vod.Theorem1.c t1.Vod.Theorem1.k
+        (Vod.Theorem1.catalog_size t1 ~n);
+      let dn = d *. float_of_int n in
+      let certify =
+        let rec go k =
+          if k > 5000 then None
+          else begin
+            let m = max 1 (int_of_float (dn /. float_of_int k)) in
+            let lp =
+              Vod.Obstruction_bound.log_union_bound ~u_eff:t1.Vod.Theorem1.u_eff
+                ~nu:t1.Vod.Theorem1.nu ~n ~c:t1.Vod.Theorem1.c ~k ~m
+            in
+            if lp <= log 0.01 then Some (k, m) else go (k + max 1 (k / 4))
+          end
+        in
+        go 1
+      in
+      (match certify with
+      | Some (k, m) ->
+          Printf.printf "certified (union bound, P < 1%%): k = %d -> %d videos\n" k m
+      | None -> print_endline "certified (union bound): no k <= 5000 certifies this n");
+      let fleet = Vod.Box.Fleet.homogeneous ~n ~u ~d in
+      let c = min 16 t1.Vod.Theorem1.c in
+      let rec first_k k =
+        if k > 12 then None
+        else begin
+          let m = Vod.Schemes.max_catalog ~fleet ~c ~k in
+          let ok =
+            List.for_all
+              (fun seed ->
+                let g = Vod.Prng.create ~seed () in
+                let catalog = Vod.Catalog.create ~m ~c in
+                let alloc = Vod.Schemes.random_permutation g ~fleet ~catalog ~k in
+                Vod.Probe.survives_battery g ~fleet ~alloc ~c ~trials:10)
+              [ 1; 2; 3 ]
+          in
+          if ok then Some (k, m) else first_k (k + 1)
+        end
+      in
+      (match first_k 1 with
+      | Some (k, m) ->
+          Printf.printf "empirical (adversarial battery, 3 seeds): k = %d -> %d videos\n" k m
+      | None -> print_endline "empirical: nothing up to k = 12 survives the battery");
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Capacity planning: guaranteed / certified / empirical catalog sizes.")
+    Term.(ret (const run $ n_arg $ u_arg $ d_arg $ mu_arg))
+
+(* ------------------------------------------------------------------ *)
+(* proto                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let proto_cmd =
+  let run n u d c k mu duration rounds seed rate =
+    try
+      let params, fleet, alloc =
+        build_system ~n ~u ~d ~c ~k ~m:None ~mu ~duration ~seed
+          ~scheme:Vod.System.Permutation
+      in
+      let p = Vod.Protocol.create { Vod.Protocol.params; fleet; alloc } in
+      let g = Vod.Prng.create ~seed:(seed + 3) () in
+      let m = Vod.Catalog.videos (Vod.Allocation.catalog alloc) in
+      let issued = ref 0 in
+      for round = 1 to rounds do
+        if round <= rounds / 2 then begin
+          let arrivals = Vod.Sample.poisson g rate in
+          for _ = 1 to arrivals do
+            let b = Vod.Prng.int g n in
+            if Vod.Protocol.is_idle p b then begin
+              Vod.Protocol.demand p ~box:b ~video:(Vod.Prng.int g m);
+              incr issued
+            end
+          done
+        end;
+        Vod.Protocol.step p
+      done;
+      Printf.printf "demands issued: %d, completed: %d, in flight/stuck: %d\n" !issued
+        (Vod.Protocol.completed_demands p)
+        (Vod.Protocol.stalled_demands p);
+      let delays = Vod.Protocol.startup_delays p in
+      if Array.length delays > 0 then begin
+        let f = Array.map float_of_int delays in
+        Printf.printf "start-up: mean %.1f rounds, p95 %.0f\n" (Vod.Stats.mean f)
+          (Vod.Stats.percentile f 95.0)
+      end;
+      let s = Vod.Protocol.message_stats p in
+      Printf.printf
+        "messages: counter %d, lookup %d, negotiation %d, registration %d, chunks %d\n"
+        s.Vod.Protocol.counter s.Vod.Protocol.lookup s.Vod.Protocol.negotiation
+        s.Vod.Protocol.registrations s.Vod.Protocol.chunks;
+      Printf.printf "control messages per demand: %.1f\n"
+        (Vod.Protocol.control_messages_per_demand p);
+      `Ok ()
+    with Invalid_argument e -> `Error (false, e)
+  in
+  Cmd.v
+    (Cmd.info "proto"
+       ~doc:"Run the fully decentralised protocol (DHT + negotiation) end to end.")
+    Term.(
+      ret
+        (const run $ n_arg $ u_arg $ d_arg $ c_arg $ k_arg $ mu_arg $ duration_arg
+       $ rounds_arg $ seed_arg $ rate_arg))
+
+let () =
+  let doc = "peer-to-peer video-on-demand scalability toolbox (IPDPS 2009 reproduction)" in
+  let info = Cmd.info "vodctl" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ bounds_cmd; allocate_cmd; simulate_cmd; attack_cmd; sweep_cmd; plan_cmd; proto_cmd ]))

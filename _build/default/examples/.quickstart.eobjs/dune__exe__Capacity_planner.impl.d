@@ -1,0 +1,1 @@
+examples/capacity_planner.ml: List Printf Vod

@@ -1,0 +1,1 @@
+examples/protocol_demo.ml: Array Printf Vod

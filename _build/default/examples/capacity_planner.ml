@@ -1,0 +1,78 @@
+(* Capacity planner: the question a VoD operator actually asks.
+
+   "I have N set-top boxes, each uploading U times the video bitrate and
+   storing D videos.  How large a catalog can I offer, with what
+   replication, and how sure am I?"
+
+   The planner answers with three layers, from guaranteed to measured:
+     1. the paper's closed-form Theorem 1 prescription (bulletproof,
+        pessimistic),
+     2. the Lemma 4 first-moment bound evaluated numerically (tight
+        union bound for the actual n),
+     3. an empirical adversarial audit of concrete allocations
+        (what survives everything we can throw at it).
+
+   Run with:  dune exec examples/capacity_planner.exe *)
+
+let () =
+  let n = 200 and u = 1.3 and d = 5.0 and mu = 1.1 in
+  Printf.printf "Fleet: %d boxes, upload %.2fx bitrate, storage %.1f videos, swarm growth <= %.2fx\n\n"
+    n u d mu;
+
+  (* Layer 1: closed-form prescription *)
+  let t1 = Vod.Theorem1.derive ~u ~mu ~d () in
+  Printf.printf "Layer 1 — Theorem 1 closed form:\n";
+  Printf.printf "  stripes c = %d, replication k = %d\n" t1.Vod.Theorem1.c
+    t1.Vod.Theorem1.k;
+  Printf.printf "  guaranteed catalog: %d videos (w.h.p., any demand sequence)\n\n"
+    (Vod.Theorem1.catalog_size t1 ~n);
+
+  (* Layer 2: numeric union bound at this n *)
+  Printf.printf "Layer 2 — numeric first-moment bound (P(obstruction) < 1%%):\n";
+  let dn = d *. float_of_int n in
+  let bound k =
+    let m = max 1 (int_of_float (dn /. float_of_int k)) in
+    ( m,
+      Vod.Obstruction_bound.log_union_bound ~u_eff:t1.Vod.Theorem1.u_eff
+        ~nu:t1.Vod.Theorem1.nu ~n ~c:t1.Vod.Theorem1.c ~k ~m )
+  in
+  let rec certify k =
+    if k > 5000 then None
+    else
+      let m, lp = bound k in
+      if lp <= log 0.01 then Some (k, m) else certify (k + max 1 (k / 4))
+  in
+  (match certify 1 with
+  | Some (k, m) ->
+      Printf.printf "  k = %d replicas certify a catalog of %d videos at n = %d\n\n" k m n
+  | None -> Printf.printf "  no k <= 5000 certifies a catalog at this size\n\n");
+
+  (* Layer 3: empirical audit *)
+  Printf.printf "Layer 3 — adversarial audit of concrete allocations:\n";
+  let fleet = Vod.Box.Fleet.homogeneous ~n ~u ~d in
+  let c = t1.Vod.Theorem1.c in
+  let rec first_k k =
+    if k > 12 then None
+    else begin
+      let m = Vod.Schemes.max_catalog ~fleet ~c ~k in
+      let ok =
+        List.for_all
+          (fun seed ->
+            let g = Vod.Prng.create ~seed () in
+            let catalog = Vod.Catalog.create ~m ~c in
+            let alloc = Vod.Schemes.random_permutation g ~fleet ~catalog ~k in
+            Vod.Probe.survives_battery g ~fleet ~alloc ~c ~trials:10)
+          [ 1; 2; 3 ]
+      in
+      if ok then Some (k, m) else first_k (k + 1)
+    end
+  in
+  (match first_k 1 with
+  | Some (k, m) ->
+      Printf.printf
+        "  k = %d replicas already survive the battery on 3/3 seeds: catalog %d videos\n" k m
+  | None -> Printf.printf "  nothing up to k = 12 survives — stay below the threshold\n");
+  print_endline "";
+  print_endline
+    "Recommendation: deploy layer 3's k, monitor with `vodctl attack`, and keep";
+  print_endline "layer 2's k as the contractual guarantee."

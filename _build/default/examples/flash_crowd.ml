@@ -1,0 +1,43 @@
+(* Flash crowd: a newly released video goes viral and its swarm grows at
+   the maximal rate mu every round.  The per-video preload counter
+   spreads early arrivals across stripes so later arrivals are fed from
+   peer caches instead of hammering the k replica holders.
+
+   The ablation at the end re-runs the same surge WITHOUT respecting the
+   swarm-growth bound (an instant stampede) to show why mu matters.
+
+   Run with:  dune exec examples/flash_crowd.exe *)
+
+let build () =
+  Vod.System.homogeneous ~seed:1 ~n:128 ~u:1.5 ~d:4.0 ~c:4 ~k:4 ~mu:1.3 ~duration:40 ()
+
+let () =
+  let system = build () in
+  Printf.printf "catalog: %d videos on 128 boxes (u=1.5, c=4, k=4, mu=1.3)\n\n"
+    (Vod.System.catalog_size system);
+
+  (* 1. the mu-respecting flash crowd *)
+  let g = Vod.Prng.create ~seed:9 () in
+  let crowd = Vod.Generators.flash_crowd g ~video:0 ~background_rate:1.0 () in
+  let e = Vod.System.engine system in
+  let reports = Vod.Engine.run e ~rounds:60 ~demands_for:crowd in
+  let m = Vod.Metrics.summarise reports in
+  Printf.printf "flash crowd at growth mu=1.3: %d viewers joined, unserved=%d\n"
+    m.Vod.Metrics.total_demands m.Vod.Metrics.total_unserved;
+  Printf.printf "  peak concurrent stripe requests: %d, swarming share %.1f%%\n"
+    m.Vod.Metrics.peak_active
+    (100.0 *. m.Vod.Metrics.cache_share);
+  Printf.printf "  verdict: %s\n\n"
+    (if Vod.Metrics.all_served m then "absorbed (preloading balanced the load)"
+     else "overwhelmed");
+
+  (* 2. ablation: everyone at once, ignoring mu *)
+  let system = build () in
+  let e = Vod.System.engine system in
+  let reports = Vod.Engine.run e ~rounds:10 ~demands_for:(Vod.Attacks.stampede ~video:0) in
+  let m = Vod.Metrics.summarise reports in
+  Printf.printf "stampede ignoring mu: %d viewers at once, unserved=%d\n"
+    m.Vod.Metrics.total_demands m.Vod.Metrics.total_unserved;
+  Printf.printf "  verdict: %s\n"
+    (if Vod.Metrics.all_served m then "survived (replication soaked it up)"
+     else "requests stalled — the growth bound is what makes Theorem 1 work")

@@ -1,0 +1,71 @@
+(* Protocol demo: the same video system run twice —
+
+   1. with the ORACLE engine: a benevolent global scheduler computes a
+      maximum-flow connection matching every round (how the paper's
+      proofs reason);
+   2. with the PROTOCOL: every box acts on messages only — it asks the
+      DHT owner of the video for the preload counter, looks up stripe
+      holders through the ring, proposes connections, and streams
+      chunk by chunk (how a deployment would actually run).
+
+   Same allocation, same demand process.  The protocol serves everyone
+   too; the price is start-up latency and a control-message budget.
+
+   Run with:  dune exec examples/protocol_demo.exe *)
+
+let () =
+  let n = 48 and c = 2 and k = 3 and duration = 15 in
+  let fleet = Vod.Box.Fleet.homogeneous ~n ~u:2.0 ~d:4.0 in
+  let params = Vod.Params.make ~n ~c ~mu:2.0 ~duration in
+  let m = Vod.Schemes.max_catalog ~fleet ~c ~k in
+  let catalog = Vod.Catalog.create ~m ~c in
+  let g = Vod.Prng.create ~seed:21 () in
+  let alloc = Vod.Schemes.random_permutation g ~fleet ~catalog ~k in
+  Printf.printf "system: %d boxes, %d-video catalog, c = %d stripes, k = %d replicas\n\n"
+    n m c k;
+
+  (* 1. oracle *)
+  let sim = Vod.Engine.create ~params ~fleet ~alloc ~policy:Vod.Engine.Continue () in
+  let g1 = Vod.Prng.create ~seed:23 () in
+  let gen = Vod.Generators.uniform_arrivals g1 ~rate:2.0 in
+  let reports = Vod.Engine.run sim ~rounds:100 ~demands_for:gen in
+  let met = Vod.Metrics.summarise reports in
+  let odelays = Vod.Engine.startup_delays sim |> Array.map float_of_int in
+  Printf.printf "oracle engine:   %d demands, unserved %d, mean start-up %.1f rounds\n"
+    met.Vod.Metrics.total_demands met.Vod.Metrics.total_unserved
+    (Vod.Stats.mean odelays);
+
+  (* 2. protocol *)
+  let p = Vod.Protocol.create { Vod.Protocol.params; fleet; alloc } in
+  let g2 = Vod.Prng.create ~seed:23 () in
+  let issued = ref 0 in
+  for round = 1 to 200 do
+    if round <= 100 then begin
+      let arrivals = Vod.Sample.poisson g2 2.0 in
+      for _ = 1 to arrivals do
+        let b = Vod.Prng.int g2 n in
+        if Vod.Protocol.is_idle p b then begin
+          Vod.Protocol.demand p ~box:b ~video:(Vod.Prng.int g2 m);
+          incr issued
+        end
+      done
+    end;
+    Vod.Protocol.step p
+  done;
+  let pdelays = Vod.Protocol.startup_delays p |> Array.map float_of_int in
+  Printf.printf "protocol:        %d demands, completed %d, mean start-up %.1f rounds\n"
+    !issued (Vod.Protocol.completed_demands p)
+    (Vod.Stats.mean pdelays);
+  let s = Vod.Protocol.message_stats p in
+  Printf.printf
+    "protocol messages: %d counter + %d lookup + %d negotiation + %d registration\n"
+    s.Vod.Protocol.counter s.Vod.Protocol.lookup s.Vod.Protocol.negotiation
+    s.Vod.Protocol.registrations;
+  Printf.printf "                   (%.1f control messages per demand, plus %d data chunks)\n"
+    (Vod.Protocol.control_messages_per_demand p)
+    s.Vod.Protocol.chunks;
+  print_endline "";
+  print_endline
+    "Same allocation, same theory — the decentralised realisation works end to end;";
+  print_endline
+    "the oracle's 1-round start-up becomes a few DHT round-trips (see EXPERIMENTS.md E17)."

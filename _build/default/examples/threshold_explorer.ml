@@ -1,0 +1,45 @@
+(* Threshold explorer: sweep the normalised upload capacity u across the
+   critical value 1 and watch catalog scalability appear.
+
+   For each u we ask: can a random permutation allocation of a catalog
+   of size n survive the adversarial probe battery?  Below u = 1 the
+   uncovered-video adversary always wins once m exceeds d*c; above it,
+   moderate replication suffices — the cliff sits exactly at the
+   paper's threshold.
+
+   Run with:  dune exec examples/threshold_explorer.exe *)
+
+let () =
+  let n = 48 and c = 2 and k = 4 and d = 4.0 in
+  (* catalog as large as the fleet: every box can be made to demand a
+     distinct video, the adversary's strongest legal cold-start round *)
+  let m = n in
+  let table =
+    Vod.Table.create
+      ~columns:
+        [
+          ("u", Vod.Table.Right);
+          ("slots/box", Vod.Table.Right);
+          ("catalog m", Vod.Table.Right);
+          ("survives adversary?", Vod.Table.Left);
+        ]
+  in
+  List.iter
+    (fun u ->
+      let fleet = Vod.Box.Fleet.homogeneous ~n ~u ~d in
+      let g = Vod.Prng.create ~seed:(int_of_float (u *. 100.0)) () in
+      let catalog = Vod.Catalog.create ~m ~c in
+      let alloc = Vod.Schemes.random_permutation g ~fleet ~catalog ~k in
+      let ok = Vod.Probe.survives_battery g ~fleet ~alloc ~c ~trials:15 in
+      Vod.Table.add_row table
+        [
+          Vod.Table.fmt_float ~decimals:2 u;
+          string_of_int (int_of_float (floor (u *. float_of_int c +. 1e-9)));
+          string_of_int m;
+          (if ok then "yes" else "NO — adversary wins");
+        ])
+    [ 0.50; 0.75; 0.90; 1.00; 1.10; 1.25; 1.50; 2.00; 3.00 ];
+  Vod.Table.print ~title:(Printf.sprintf "Catalog m = %d on n = %d boxes (c=%d, k=%d)" m n c k) table;
+  print_endline "";
+  print_endline "The survivable region starts just above u = 1: the paper's threshold.";
+  print_endline "(At u <= 1 only constant catalogs m <= d*c survive, per the negative result.)"

@@ -1,0 +1,1 @@
+lib/adversary/attacks.ml: Allocation Array Catalog List Sample Vod_model Vod_sim Vod_util

@@ -1,0 +1,1 @@
+lib/adversary/attacks.mli: Vod_sim Vod_util

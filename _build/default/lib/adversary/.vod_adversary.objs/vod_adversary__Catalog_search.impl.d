@@ -1,0 +1,1 @@
+lib/adversary/catalog_search.ml: Box Catalog Probe Vod_alloc Vod_model

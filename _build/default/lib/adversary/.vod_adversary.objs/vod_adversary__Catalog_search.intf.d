@@ -1,0 +1,1 @@
+lib/adversary/catalog_search.mli: Box Vod_model Vod_util

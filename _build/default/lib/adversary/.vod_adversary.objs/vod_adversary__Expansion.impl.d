@@ -1,0 +1,1 @@
+lib/adversary/expansion.ml: Allocation Array Box Catalog Vod_graph Vod_model Vod_util

@@ -1,0 +1,1 @@
+lib/adversary/expansion.mli: Allocation Box Vod_model Vod_util

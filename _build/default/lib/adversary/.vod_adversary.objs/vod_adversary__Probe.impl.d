@@ -1,0 +1,1 @@
+lib/adversary/probe.ml: Allocation Array Box Catalog Hashtbl List Sample Vod_graph Vod_model Vod_util

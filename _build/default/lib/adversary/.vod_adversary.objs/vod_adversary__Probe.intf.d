@@ -1,0 +1,1 @@
+lib/adversary/probe.mli: Allocation Box Vod_graph Vod_model Vod_util

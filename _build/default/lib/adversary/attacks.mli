@@ -1,0 +1,20 @@
+(** Engine-driven adversarial demand generators.  These have the same
+    shape as the workload generators ([Engine.t -> time -> demands]) but
+    inspect the system state to pick the most damaging legal demand. *)
+
+val uncovered : Vod_sim.Engine.t -> int -> (int * int) list
+(** The negative-result adversary: every idle box demands a video it
+    stores no data of (falling back to the video of which it stores the
+    least when it covers all of them).  Below the threshold this drives
+    aggregate demand above aggregate upload. *)
+
+val tight_server_set : Vod_util.Prng.t -> Vod_sim.Engine.t -> int -> (int * int) list
+(** Idle boxes demand the videos whose stripe holders currently have
+    the least spare upload, concentrating load on a minimal server
+    set.  Distinct videos per round, so no playback cache helps among
+    the new arrivals. *)
+
+val stampede : video:int -> Vod_sim.Engine.t -> int -> (int * int) list
+(** All idle boxes demand the same video at once — deliberately
+    violating the swarm-growth bound mu.  Used by tests and ablations
+    to show why the preloading strategy needs the bound. *)

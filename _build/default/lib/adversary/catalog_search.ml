@@ -1,0 +1,51 @@
+open Vod_model
+
+type config = {
+  fleet : Box.t array;
+  c : int;
+  k : int;
+  trials : int;
+  allocations : int;
+}
+
+let feasible_at g cfg ~m =
+  if m < 1 then true
+  else begin
+    let catalog = Catalog.create ~m ~c:cfg.c in
+    let survives = ref false in
+    for _ = 1 to cfg.allocations do
+      if not !survives then begin
+        match
+          Vod_alloc.Schemes.random_permutation g ~fleet:cfg.fleet ~catalog ~k:cfg.k
+        with
+        | alloc ->
+            if Probe.survives_battery g ~fleet:cfg.fleet ~alloc ~c:cfg.c ~trials:cfg.trials
+            then survives := true
+        | exception Invalid_argument _ -> ()
+      end
+    done;
+    !survives
+  end
+
+let max_catalog g cfg =
+  let upper = Vod_alloc.Schemes.max_catalog ~fleet:cfg.fleet ~c:cfg.c ~k:cfg.k in
+  if upper < 1 || not (feasible_at g cfg ~m:1) then 0
+  else begin
+    (* exponential probe up from 1, then binary search the gap *)
+    let rec expand m =
+      if m >= upper then upper
+      else if feasible_at g cfg ~m:(min upper (2 * m)) then expand (min upper (2 * m))
+      else min upper (2 * m)
+    in
+    let hi = expand 1 in
+    if feasible_at g cfg ~m:hi then hi
+    else begin
+      let lo = ref (max 1 (hi / 2)) and hi = ref hi in
+      (* invariant: lo feasible, hi infeasible *)
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if feasible_at g cfg ~m:mid then lo := mid else hi := mid
+      done;
+      !lo
+    end
+  end

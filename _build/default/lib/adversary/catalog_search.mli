@@ -1,0 +1,26 @@
+(** Empirical catalog maximisation: the largest catalog size [m] for
+    which a random allocation survives the adversarial probe battery.
+    This is the measured counterpart of the paper's
+    [m = Omega((u-1)^2 log((u+1)/2) / u^3 * dn / log d')] lower bound
+    (experiments E4 and E5). *)
+
+open Vod_model
+
+type config = {
+  fleet : Box.t array;
+  c : int;
+  k : int;  (** Replicas per stripe. *)
+  trials : int;  (** Random probes per candidate size. *)
+  allocations : int;  (** Fresh random allocations tried per size. *)
+}
+
+val feasible_at : Vod_util.Prng.t -> config -> m:int -> bool
+(** Does some random permutation allocation of an [m]-video catalog
+    survive the battery?  (Majority vote over [allocations] draws:
+    succeeds if any draw survives, matching the paper's "there exists an
+    allocation w.h.p." statement.) *)
+
+val max_catalog : Vod_util.Prng.t -> config -> int
+(** Largest feasible [m], found by exponential-then-binary search
+    between 1 and the storage bound [total_slots / (k c)].  0 when even
+    [m = 1] fails. *)

@@ -1,0 +1,24 @@
+open Vod_model
+
+let slots_of fleet ~c =
+  Array.map
+    (fun b -> int_of_float (floor ((b.Box.upload *. float_of_int c) +. 1e-9)))
+    fleet
+
+let allocation_adjacency alloc =
+  let total = Catalog.total_stripes (Allocation.catalog alloc) in
+  Array.init total (fun s -> Allocation.boxes_of_stripe alloc s)
+
+let exact_ratio ~fleet ~alloc ~c =
+  let adj = allocation_adjacency alloc in
+  let right_cap = slots_of fleet ~c in
+  Vod_graph.Expander.exact_min_slot_ratio ~adj ~right_cap
+
+let sampled_ratio g ~fleet ~alloc ~c ~samples =
+  let adj = allocation_adjacency alloc in
+  let right_cap = slots_of fleet ~c in
+  Vod_graph.Expander.sampled_min_slot_ratio g ~adj ~right_cap ~samples
+
+let certifies_cold_start ~fleet ~alloc ~c ~samples =
+  let g = Vod_util.Prng.create ~seed:0x5eed () in
+  sampled_ratio g ~fleet ~alloc ~c ~samples >= 1.0 -. 1e-9

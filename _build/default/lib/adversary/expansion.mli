@@ -1,0 +1,33 @@
+(** Expansion of the {e allocation graph}: the bipartite graph linking
+    every stripe of the catalog to the boxes storing its replicas.
+
+    Lemma 1 specialised to a cold start (no caches, at most one request
+    per stripe) says: every simultaneous distinct-stripe request set is
+    servable iff for all stripe subsets [X],
+    [slots(holders(X)) >= |X|], i.e. the allocation graph is a
+    slot-expander with ratio at least 1.  The proof of Theorem 1 shows
+    the random allocation achieves this with high probability; these
+    helpers measure the ratio on concrete allocations. *)
+
+open Vod_model
+
+val exact_ratio : fleet:Box.t array -> alloc:Allocation.t -> c:int -> float
+(** Exact minimum of [slots(holders(X)) / |X|] over non-empty stripe
+    subsets, by exhaustive scan.  Only for tiny catalogs:
+    @raise Invalid_argument when the catalog has more than 22 stripes
+    or the fleet more than 62 boxes. *)
+
+val sampled_ratio :
+  Vod_util.Prng.t ->
+  fleet:Box.t array ->
+  alloc:Allocation.t ->
+  c:int ->
+  samples:int ->
+  float
+(** Randomised upper bound on the same minimum (random subsets refined
+    by greedy descent), usable at any scale. *)
+
+val certifies_cold_start : fleet:Box.t array -> alloc:Allocation.t -> c:int -> samples:int -> bool
+(** True when no sampled subset falls below ratio 1 — a quick
+    Lemma 1 health check on an allocation ([samples] local searches
+    seeded deterministically). *)

@@ -1,0 +1,61 @@
+(** Static adversarial probes.
+
+    A probe checks the feasibility of one worst-case {e cold-start}
+    round directly against the allocation, without running the engine:
+    a set of boxes simultaneously demand pairwise distinct videos, so no
+    playback cache can help and every stripe must be sourced from its
+    static replicas — the regime of the paper's negative result and the
+    hardest single round the adversary can stage without violating the
+    swarm-growth bound (each swarm has size 1).
+
+    Feasibility of the round is exactly Lemma 1 applied to the
+    sourcing-only graph. *)
+
+open Vod_model
+
+type verdict = Feasible | Infeasible of Vod_graph.Bipartite.violator
+
+val check :
+  fleet:Box.t array ->
+  alloc:Allocation.t ->
+  c:int ->
+  demands:(int * int) list ->
+  verdict
+(** [check ~fleet ~alloc ~c ~demands] tests the round in which each
+    [(box, video)] pair demands all [c] stripes of its video at once,
+    served only from the allocation.  Box upload capacity is
+    [floor (u_b * c)] slots.
+    @raise Invalid_argument on duplicate boxes or out-of-range ids. *)
+
+val greedy_worst_demands :
+  fleet:Box.t array -> alloc:Allocation.t -> c:int -> (int * int) list
+(** A demand assignment built to stress the allocation: boxes are
+    processed in random-free order, each taking the still-unclaimed
+    video whose stripe holders have the least remaining upload slack
+    (preferring videos the box does not store).  One video per box,
+    pairwise distinct, at most [min n m] pairs. *)
+
+val uncovered_demands :
+  fleet:Box.t array -> alloc:Allocation.t -> (int * int) list
+(** The negative-result adversary (Section 1.3): every box demands a
+    video it stores {e no} data of (boxes storing part of every video
+    are left out).  Pairwise-distinct videos are preferred; when fewer
+    uncovered videos than boxes exist, videos repeat, which is still
+    legal demand-wise but no longer cache-free — callers should use
+    {!check} only when the result is distinct, or drive the engine. *)
+
+val random_distinct_demands :
+  Vod_util.Prng.t -> fleet:Box.t array -> alloc:Allocation.t -> (int * int) list
+(** Uniform random one-video-per-box distinct assignment — the baseline
+    probe for estimating failure probability of an allocation. *)
+
+val survives_battery :
+  Vod_util.Prng.t ->
+  fleet:Box.t array ->
+  alloc:Allocation.t ->
+  c:int ->
+  trials:int ->
+  bool
+(** Runs the greedy worst-case probe, the uncovered probe (when it
+    yields distinct videos), and [trials] random probes; true when every
+    one of them is feasible. *)

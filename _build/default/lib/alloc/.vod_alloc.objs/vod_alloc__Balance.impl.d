@@ -1,0 +1,1 @@
+lib/alloc/balance.ml: Allocation Array Box Catalog Format Stats Vod_model Vod_util

@@ -1,0 +1,1 @@
+lib/alloc/balance.mli: Allocation Box Format Vod_model

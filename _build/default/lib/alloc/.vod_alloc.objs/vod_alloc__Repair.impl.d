@@ -1,0 +1,1 @@
+lib/alloc/repair.ml: Allocation Array Box Catalog Fun List Sample Vod_model Vod_util

@@ -1,0 +1,1 @@
+lib/alloc/repair.mli: Allocation Box Vod_model Vod_util

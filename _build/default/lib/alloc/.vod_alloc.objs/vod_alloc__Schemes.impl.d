@@ -1,0 +1,1 @@
+lib/alloc/schemes.ml: Allocation Array Box Catalog Hashtbl List Sample Vec Vod_model Vod_util

@@ -1,0 +1,1 @@
+lib/alloc/schemes.mli: Allocation Box Catalog Vod_model Vod_util

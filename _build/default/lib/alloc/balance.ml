@@ -1,0 +1,50 @@
+open Vod_util
+open Vod_model
+
+type t = {
+  max_load : int;
+  min_load : int;
+  mean_load : float;
+  coefficient_of_variation : float;
+  utilisation : float;
+  max_over_capacity : float;
+}
+
+let measure alloc ~fleet ~c =
+  let n = Allocation.n_boxes alloc in
+  let r = Stats.Running.create () in
+  let max_ratio = ref 0.0 in
+  for b = 0 to n - 1 do
+    let load = Allocation.box_load alloc b in
+    Stats.Running.add r (float_of_int load);
+    let cap = Box.storage_slots ~c fleet.(b) in
+    if cap > 0 then max_ratio := max !max_ratio (float_of_int load /. float_of_int cap)
+    else if load > 0 then max_ratio := infinity
+  done;
+  let mean = Stats.Running.mean r in
+  {
+    max_load = int_of_float (Stats.Running.max r);
+    min_load = int_of_float (Stats.Running.min r);
+    mean_load = mean;
+    coefficient_of_variation = (if mean = 0.0 then 0.0 else Stats.Running.stddev r /. mean);
+    utilisation = Allocation.storage_utilisation alloc ~fleet ~c;
+    max_over_capacity = !max_ratio;
+  }
+
+let replica_spread alloc =
+  let total = Catalog.total_stripes (Allocation.catalog alloc) in
+  if total = 0 then (0, 0, 0.0)
+  else begin
+    let r = Stats.Running.create () in
+    for s = 0 to total - 1 do
+      Stats.Running.add r (float_of_int (Allocation.replica_count alloc s))
+    done;
+    ( int_of_float (Stats.Running.min r),
+      int_of_float (Stats.Running.max r),
+      Stats.Running.mean r )
+  end
+
+let pp ppf t =
+  Format.fprintf ppf
+    "{max=%d; min=%d; mean=%.2f; cov=%.3f; util=%.3f; max/cap=%.3f}" t.max_load
+    t.min_load t.mean_load t.coefficient_of_variation t.utilisation t.max_over_capacity

@@ -1,0 +1,25 @@
+(** Storage-load balance statistics of an allocation — the quantity that
+    separates permutation from independent allocation in Section 3 (the
+    independent scheme needs [c = Omega(log n)] to avoid overflowing a
+    box with high probability). *)
+
+open Vod_model
+
+type t = {
+  max_load : int;  (** Most replicas stored by any box. *)
+  min_load : int;
+  mean_load : float;
+  coefficient_of_variation : float;  (** stddev / mean of box loads. *)
+  utilisation : float;  (** Fraction of fleet storage slots in use. *)
+  max_over_capacity : float;
+      (** max over boxes of load / capacity — 1.0 means some box is
+          exactly full; the permutation scheme never exceeds 1. *)
+}
+
+val measure : Allocation.t -> fleet:Box.t array -> c:int -> t
+
+val replica_spread : Allocation.t -> int * int * float
+(** (min, max, mean) number of distinct holders per stripe — shows how
+    many replicas survived dedup. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+open Vod_util
+open Vod_model
+
+let add_video g ~fleet ~alloc ~k =
+  let cat = Allocation.catalog alloc in
+  let c = Catalog.stripes_per_video cat in
+  let m = Catalog.videos cat in
+  let n = Allocation.n_boxes alloc in
+  if k < 1 then invalid_arg "Mutate.add_video: k must be >= 1";
+  let free =
+    Array.init n (fun b ->
+        Box.storage_slots ~c fleet.(b) - Allocation.box_load alloc b)
+  in
+  (* place k replicas for each of the c new stripes *)
+  let new_lists = Array.make c [] in
+  let ok = ref true in
+  for j = 0 to c - 1 do
+    if !ok then begin
+      let candidates =
+        Array.to_list (Array.init n Fun.id) |> List.filter (fun b -> free.(b) > 0)
+      in
+      if List.length candidates < k then ok := false
+      else begin
+        let arr = Array.of_list candidates in
+        Sample.shuffle g arr;
+        let chosen = Array.sub arr 0 k in
+        Array.iter (fun b -> free.(b) <- free.(b) - 1) chosen;
+        new_lists.(j) <- Array.to_list chosen
+      end
+    end
+  done;
+  if not !ok then Error "not enough free storage slots for the new video"
+  else begin
+    let catalog' = Catalog.create ~m:(m + 1) ~c in
+    let per_stripe =
+      Array.init ((m + 1) * c) (fun s ->
+          if s < m * c then Allocation.boxes_of_stripe alloc s
+          else Array.of_list new_lists.(s - (m * c)))
+    in
+    Ok (Allocation.of_replica_lists ~catalog:catalog' ~n_boxes:n per_stripe)
+  end
+
+let remove_video ~alloc ~video =
+  let cat = Allocation.catalog alloc in
+  let c = Catalog.stripes_per_video cat in
+  let m = Catalog.videos cat in
+  if video < 0 || video >= m then Error "video out of range"
+  else begin
+    let catalog' = Catalog.create ~m:(m - 1) ~c in
+    let per_stripe =
+      Array.init ((m - 1) * c) (fun s ->
+          let old_video = s / c and index = s mod c in
+          let shifted = if old_video >= video then old_video + 1 else old_video in
+          Allocation.boxes_of_stripe alloc ((shifted * c) + index))
+    in
+    Ok
+      (Allocation.of_replica_lists ~catalog:catalog'
+         ~n_boxes:(Allocation.n_boxes alloc) per_stripe)
+  end

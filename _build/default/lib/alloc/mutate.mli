@@ -1,0 +1,24 @@
+(** Online catalog mutation — the paper allocates once and statically,
+    but a deployed system must add releases and retire stale titles.
+    These operations rebuild an {!Vod_model.Allocation.t} incrementally
+    while preserving its invariants; they are the "future work" knob of
+    the paper made concrete. *)
+
+open Vod_model
+
+val add_video :
+  Vod_util.Prng.t ->
+  fleet:Box.t array ->
+  alloc:Allocation.t ->
+  k:int ->
+  (Allocation.t, string) result
+(** Grow the catalog by one video: its [c] new stripes get [k] replicas
+    each, placed uniformly among boxes with free storage slots (at most
+    one replica of a stripe per box).  [Error] when fewer than [k]
+    boxes have a free slot for some stripe. *)
+
+val remove_video :
+  alloc:Allocation.t -> video:int -> (Allocation.t, string) result
+(** Shrink the catalog: drop the video's stripes and renumber the tail
+    (video ids above [video] shift down by one, matching the dense
+    stripe-id scheme of {!Vod_model.Catalog}). *)

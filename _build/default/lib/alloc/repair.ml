@@ -1,0 +1,67 @@
+open Vod_util
+open Vod_model
+
+type report = { repaired_stripes : int; replicas_added : int; unrepairable : int }
+
+let alive_replicas alloc alive s =
+  Array.fold_left
+    (fun acc b -> if alive.(b) then acc + 1 else acc)
+    0
+    (Allocation.boxes_of_stripe alloc s)
+
+let under_replicated ~alloc ~alive ~target_k =
+  let total = Catalog.total_stripes (Allocation.catalog alloc) in
+  let acc = ref [] in
+  for s = total - 1 downto 0 do
+    if alive_replicas alloc alive s < target_k then acc := s :: !acc
+  done;
+  !acc
+
+let repair g ~fleet ~alloc ~alive ~target_k =
+  let n = Allocation.n_boxes alloc in
+  if Array.length alive <> n then Error "alive array size mismatch"
+  else if Array.length fleet <> n then Error "fleet size mismatch"
+  else if target_k < 1 then Error "target_k must be >= 1"
+  else begin
+    let c = Catalog.stripes_per_video (Allocation.catalog alloc) in
+    let free =
+      Array.init n (fun b ->
+          if alive.(b) then Box.storage_slots ~c fleet.(b) - Allocation.box_load alloc b
+          else 0)
+    in
+    let total = Catalog.total_stripes (Allocation.catalog alloc) in
+    let per_stripe = Array.init total (fun s -> Allocation.boxes_of_stripe alloc s) in
+    let repaired = ref 0 and added = ref 0 and unrepairable = ref 0 in
+    List.iter
+      (fun s ->
+        let holders = per_stripe.(s) in
+        let live = Array.exists (fun b -> alive.(b)) holders in
+        if not live then incr unrepairable
+        else begin
+          let missing = target_k - alive_replicas alloc alive s in
+          (* candidate targets: alive, free slot, not already holding *)
+          let candidates =
+            Array.to_list (Array.init n Fun.id)
+            |> List.filter (fun b -> free.(b) > 0 && not (Array.mem b holders))
+            |> Array.of_list
+          in
+          Sample.shuffle g candidates;
+          let take = min missing (Array.length candidates) in
+          if take > 0 then begin
+            incr repaired;
+            let extra = Array.sub candidates 0 take in
+            Array.iter (fun b -> free.(b) <- free.(b) - 1) extra;
+            per_stripe.(s) <- Array.append holders extra;
+            added := !added + take
+          end;
+          if take < missing then incr unrepairable
+        end)
+      (under_replicated ~alloc ~alive ~target_k);
+    let alloc' =
+      Allocation.of_replica_lists ~catalog:(Allocation.catalog alloc) ~n_boxes:n per_stripe
+    in
+    Ok
+      ( alloc',
+        { repaired_stripes = !repaired; replicas_added = !added; unrepairable = !unrepairable }
+      )
+  end

@@ -1,0 +1,31 @@
+(** Replication repair — the maintenance loop a deployed system runs
+    under churn.  When boxes leave permanently, stripes lose replicas;
+    repair tops every stripe back up to the target replication using
+    the surviving boxes' free storage.  Combined with the engine's
+    churn injection this closes the loop the paper's static analysis
+    leaves open (experiment E18). *)
+
+open Vod_model
+
+type report = {
+  repaired_stripes : int;  (** Stripes that received new replicas. *)
+  replicas_added : int;
+  unrepairable : int;  (** Stripes still below target (no space / no donors). *)
+}
+
+val under_replicated : alloc:Allocation.t -> alive:bool array -> target_k:int -> int list
+(** Stripes with fewer than [target_k] replicas on alive boxes. *)
+
+val repair :
+  Vod_util.Prng.t ->
+  fleet:Box.t array ->
+  alloc:Allocation.t ->
+  alive:bool array ->
+  target_k:int ->
+  (Allocation.t * report, string) result
+(** Re-replicate every under-replicated stripe onto random alive boxes
+    with free storage (a new replica requires an alive holder to copy
+    from — a stripe with zero alive replicas is unrepairable and
+    counted, not failed).  Dead boxes keep their (unreachable) replicas
+    in the returned allocation; they become useful again if the box
+    returns.  [Error] only on inconsistent inputs. *)

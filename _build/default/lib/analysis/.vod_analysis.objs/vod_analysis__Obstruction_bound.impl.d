@@ -1,0 +1,1 @@
+lib/analysis/obstruction_bound.ml: Array Float

@@ -1,0 +1,1 @@
+lib/analysis/theorem1.ml: Float Format

@@ -1,0 +1,1 @@
+lib/analysis/theorem2.ml: Array Box Float List Obstruction_bound Vod_model

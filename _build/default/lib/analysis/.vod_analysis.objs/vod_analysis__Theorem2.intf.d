@@ -1,0 +1,1 @@
+lib/analysis/theorem2.mli: Box Vod_model

@@ -1,0 +1,87 @@
+(* Log-factorials with a growable memo table. *)
+let log_fact_table = ref [| 0.0 |]
+
+let ensure_log_fact n =
+  let current = Array.length !log_fact_table in
+  if n >= current then begin
+    let grown = Array.make (max (n + 1) (2 * current)) 0.0 in
+    Array.blit !log_fact_table 0 grown 0 current;
+    for i = current to Array.length grown - 1 do
+      grown.(i) <- grown.(i - 1) +. log (float_of_int i)
+    done;
+    log_fact_table := grown
+  end
+
+let log_fact n =
+  ensure_log_fact n;
+  !log_fact_table.(n)
+
+let log_binomial n k =
+  if k < 0 || k > n || n < 0 then neg_infinity
+  else log_fact n -. log_fact k -. log_fact (n - k)
+
+(* log(exp a + exp b) without overflow. *)
+let log_add a b =
+  if a = neg_infinity then b
+  else if b = neg_infinity then a
+  else
+    let hi = Float.max a b and lo = Float.min a b in
+    hi +. log1p (exp (lo -. hi))
+
+let log_p_sigma ~u_eff ~n ~c ~k ~i ~i1 =
+  let fi = float_of_int i in
+  let unc = u_eff *. float_of_int n *. float_of_int c in
+  (fi *. (log unc +. 1.0 -. log fi)) +. (float_of_int (k * i1) *. (log fi -. log unc))
+
+let log_union_bound ~u_eff ~nu ~n ~c ~k ~m =
+  if n < 1 || c < 1 || k < 1 || m < 1 then
+    invalid_arg "Obstruction_bound.log_union_bound: non-positive parameter";
+  if nu <= 0.0 || nu >= 1.0 then
+    invalid_arg "Obstruction_bound.log_union_bound: nu outside (0,1)";
+  if u_eff <= 0.0 then invalid_arg "Obstruction_bound.log_union_bound: u_eff <= 0";
+  let nc = n * c and mc = m * c in
+  ensure_log_fact (max (nc + 1) (mc + 1));
+  let total = ref neg_infinity in
+  for i = 1 to nc do
+    let i1_min = max 1 (int_of_float (ceil (nu *. float_of_int i))) in
+    let i1_max = min i mc in
+    (* The inner sum is dominated by its largest term; terms are
+       log-concave in i1, so scanning all of them is cheap and exact. *)
+    for i1 = i1_min to i1_max do
+      let log_m = log_binomial mc i1 +. log_binomial (i - 1) (i1 - 1) in
+      let term = log_m +. log_p_sigma ~u_eff ~n ~c ~k ~i ~i1 in
+      total := log_add !total term
+    done
+  done;
+  !total
+
+let kappa_delta ~u_eff ~k ~nu ~d_prime =
+  let kappa = (nu *. float_of_int k) -. 2.0 in
+  let delta = 4.0 *. d_prime *. exp 2.0 /. u_eff in
+  (kappa, delta)
+
+let log_phi ~u_eff ~n ~c ~k ~nu ~d_prime ~i =
+  let kappa, delta = kappa_delta ~u_eff ~k ~nu ~d_prime in
+  let fi = float_of_int i in
+  let unc = u_eff *. float_of_int n *. float_of_int c in
+  (kappa *. fi *. (log fi -. log unc)) +. (fi *. log delta)
+
+let phi_minimiser ~u_eff ~n ~c ~k ~nu ~d_prime =
+  let kappa, delta = kappa_delta ~u_eff ~k ~nu ~d_prime in
+  if kappa <= 0.0 then invalid_arg "Obstruction_bound.phi_minimiser: requires k > 2/nu";
+  u_eff *. float_of_int n *. float_of_int c /. (exp 1.0 *. (delta ** (1.0 /. kappa)))
+
+let min_k_for_target ~u_eff ~nu ~n ~c ~m ~target_log =
+  (* The bound is monotone decreasing in k (each extra replica only
+     sharpens Lemma 3), so binary search applies. *)
+  let bound k = log_union_bound ~u_eff ~nu ~n ~c ~k ~m in
+  let k_max = 10_000 in
+  if bound k_max > target_log then None
+  else begin
+    let lo = ref 1 and hi = ref k_max in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if bound mid <= target_log then hi := mid else lo := mid + 1
+    done;
+    Some !lo
+  end

@@ -1,0 +1,1 @@
+lib/directory/directory.ml: Array Hashtbl List Option Ring

@@ -1,0 +1,1 @@
+lib/directory/directory.mli: Ring

@@ -1,0 +1,1 @@
+lib/directory/ring.ml: Array Hashtbl Int64 List

@@ -1,0 +1,1 @@
+lib/directory/ring.mli:

@@ -1,0 +1,128 @@
+let id_bits = 30
+let ring_size = 1 lsl id_bits
+
+(* SplitMix64 finaliser on the node / key id, folded to the ring. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash_int salt x =
+  let h = mix64 (Int64.add (Int64.of_int x) (Int64.mul (Int64.of_int salt) 0x9E3779B97F4A7C15L)) in
+  Int64.to_int (Int64.logand h (Int64.of_int (ring_size - 1)))
+
+let hash_key k = hash_int 7 k
+let hash_node b = hash_int 1 b
+
+type t = {
+  order : (int * int) array; (* (position, node), sorted by position *)
+  index : (int, int) Hashtbl.t; (* node -> rank in [order] *)
+  fingers : int array array; (* rank -> finger ranks (log-spaced) *)
+}
+
+let build nodes =
+  let order =
+    List.map (fun b -> (hash_node b, b)) nodes
+    |> List.sort compare
+    |> Array.of_list
+  in
+  let n = Array.length order in
+  let index = Hashtbl.create n in
+  Array.iteri (fun rank (_, b) -> Hashtbl.replace index b rank) order;
+  (* rank of the first node at or after a position, wrapping *)
+  let successor_rank pos =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst order.(mid) < pos then lo := mid + 1 else hi := mid
+    done;
+    if !lo = n then 0 else !lo
+  in
+  let fingers =
+    Array.init n (fun rank ->
+        let base = fst order.(rank) in
+        Array.init id_bits (fun j ->
+            successor_rank ((base + (1 lsl j)) land (ring_size - 1))))
+  in
+  { order; index; fingers }
+
+let create ~nodes =
+  if nodes = [] then invalid_arg "Ring.create: empty node list";
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      if Hashtbl.mem tbl b then invalid_arg "Ring.create: duplicate node";
+      Hashtbl.add tbl b ())
+    nodes;
+  build nodes
+
+let members t = Array.to_list (Array.map snd t.order)
+
+let node_position t b =
+  match Hashtbl.find_opt t.index b with
+  | Some rank -> fst t.order.(rank)
+  | None -> raise Not_found
+
+let successor_rank_of_key t pos =
+  let n = Array.length t.order in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.order.(mid) < pos then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let successor_of_key t key = snd t.order.(successor_rank_of_key t (hash_key key))
+
+(* is position x in the half-open ring interval (a, b] ? *)
+let in_interval x a b =
+  if a < b then x > a && x <= b else x > a || x <= b
+
+let lookup t ~origin ~key =
+  let n = Array.length t.order in
+  let start_rank =
+    match Hashtbl.find_opt t.index origin with
+    | Some r -> r
+    | None -> raise Not_found
+  in
+  let key_pos = hash_key key in
+  let target_rank = successor_rank_of_key t key_pos in
+  let target = snd t.order.(target_rank) in
+  (* greedy: repeatedly jump to the finger closest to (but not past)
+     the key, counting hops; terminate when the current node's
+     successor owns the key *)
+  let hops = ref 0 in
+  let rank = ref start_rank in
+  while !rank <> target_rank do
+    let cur_pos = fst t.order.(!rank) in
+    (* pick the farthest finger that does not overshoot the key *)
+    let best = ref ((!rank + 1) mod n) in
+    Array.iter
+      (fun fr ->
+        let fpos = fst t.order.(fr) in
+        if fr <> !rank && in_interval fpos cur_pos key_pos then begin
+          (* the finger lands strictly before (or at) the key: take the
+             one covering the most ring distance *)
+          let dist r = (fst t.order.(r) - cur_pos + ring_size) land (ring_size - 1) in
+          if dist fr > dist !best then best := fr
+        end)
+      t.fingers.(!rank);
+    (* ensure progress even without useful fingers *)
+    if !best = !rank then best := (!rank + 1) mod n;
+    (* if the key lies between us and our successor, the successor owns
+       it: route there directly *)
+    let succ = (!rank + 1) mod n in
+    let succ_pos = fst t.order.(succ) in
+    if in_interval key_pos cur_pos succ_pos then rank := succ else rank := !best;
+    incr hops
+  done;
+  (target, !hops)
+
+let join t b =
+  if Hashtbl.mem t.index b then invalid_arg "Ring.join: node already present";
+  build (b :: members t)
+
+let leave t b =
+  if not (Hashtbl.mem t.index b) then invalid_arg "Ring.leave: node absent";
+  if Array.length t.order = 1 then invalid_arg "Ring.leave: cannot empty the ring";
+  build (List.filter (fun x -> x <> b) (members t))

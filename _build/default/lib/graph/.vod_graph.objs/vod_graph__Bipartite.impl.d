@@ -1,0 +1,1 @@
+lib/graph/bipartite.ml: Array Bitset Dinic Flow_network Hopcroft_karp List Min_cost_flow Push_relabel Vec Vod_util

@@ -1,0 +1,1 @@
+lib/graph/dinic.ml: Array Flow_network Queue

@@ -1,0 +1,1 @@
+lib/graph/dinic.mli: Flow_network

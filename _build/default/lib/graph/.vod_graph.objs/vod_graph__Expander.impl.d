@@ -1,0 +1,1 @@
+lib/graph/expander.ml: Array Bitset Fun Prng Vod_util

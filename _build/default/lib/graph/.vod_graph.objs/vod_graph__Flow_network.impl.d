@@ -1,0 +1,1 @@
+lib/graph/flow_network.ml: Array Bitset Queue Vec Vod_util

@@ -1,0 +1,1 @@
+lib/graph/flow_network.mli: Vod_util

@@ -1,0 +1,1 @@
+lib/graph/min_cost_flow.ml: Array Queue Vec Vod_util

@@ -1,0 +1,1 @@
+lib/graph/push_relabel.ml: Array Flow_network Queue

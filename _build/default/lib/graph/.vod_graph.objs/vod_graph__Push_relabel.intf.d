@@ -1,0 +1,1 @@
+lib/graph/push_relabel.mli: Flow_network

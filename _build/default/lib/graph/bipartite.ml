@@ -1,0 +1,275 @@
+open Vod_util
+module F = Flow_network
+
+type t = {
+  n_left : int;
+  n_right : int;
+  right_cap : int array;
+  adj : int Vec.t array; (* left -> rights, possibly with duplicates *)
+  mutable dedup : int array array option; (* memoised deduplicated adjacency *)
+}
+
+let create ~n_left ~n_right ~right_cap =
+  if n_left < 0 || n_right < 0 then invalid_arg "Bipartite.create: negative size";
+  if Array.length right_cap <> n_right then
+    invalid_arg "Bipartite.create: right_cap length mismatch";
+  Array.iter (fun c -> if c < 0 then invalid_arg "Bipartite.create: negative capacity") right_cap;
+  {
+    n_left;
+    n_right;
+    right_cap = Array.copy right_cap;
+    adj = Array.init (max n_left 1) (fun _ -> Vec.create ());
+    dedup = None;
+  }
+
+let add_edge t ~left ~right =
+  if left < 0 || left >= t.n_left then invalid_arg "Bipartite.add_edge: left out of range";
+  if right < 0 || right >= t.n_right then invalid_arg "Bipartite.add_edge: right out of range";
+  Vec.push t.adj.(left) right;
+  t.dedup <- None
+
+let n_left t = t.n_left
+let n_right t = t.n_right
+let right_cap t = Array.copy t.right_cap
+
+let adjacency t =
+  match t.dedup with
+  | Some a -> a
+  | None ->
+      let a =
+        Array.init t.n_left (fun l ->
+            let rights = Vec.to_array t.adj.(l) in
+            Array.sort compare rights;
+            let out = Vec.create () in
+            Array.iteri
+              (fun i r -> if i = 0 || rights.(i - 1) <> r then Vec.push out r)
+              rights;
+            Vec.to_array out)
+      in
+      t.dedup <- Some a;
+      a
+
+let degree t l = Array.length (adjacency t).(l)
+
+type algorithm = Dinic_flow | Push_relabel_flow | Hopcroft_karp_matching
+
+type outcome = { matched : int; assignment : int array; right_load : int array }
+
+(* Flow-network encoding of Lemma 1: source -> request (cap 1),
+   request -> box (unbounded), box -> sink (cap = upload slots). *)
+let build_network t =
+  let src = 0 in
+  let left_base = 1 in
+  let right_base = 1 + t.n_left in
+  let sink = 1 + t.n_left + t.n_right in
+  let net = F.create (sink + 1) in
+  let adj = adjacency t in
+  for l = 0 to t.n_left - 1 do
+    ignore (F.add_edge net ~src ~dst:(left_base + l) ~cap:1)
+  done;
+  let middle = Array.make t.n_left [||] in
+  for l = 0 to t.n_left - 1 do
+    middle.(l) <-
+      Array.map
+        (fun r -> F.add_edge net ~src:(left_base + l) ~dst:(right_base + r) ~cap:1)
+        adj.(l)
+  done;
+  for r = 0 to t.n_right - 1 do
+    ignore (F.add_edge net ~src:(right_base + r) ~dst:sink ~cap:t.right_cap.(r))
+  done;
+  (net, src, sink, middle)
+
+let outcome_of_flow t net middle =
+  let adj = adjacency t in
+  let assignment = Array.make t.n_left (-1) in
+  let right_load = Array.make t.n_right 0 in
+  let matched = ref 0 in
+  for l = 0 to t.n_left - 1 do
+    Array.iteri
+      (fun i a ->
+        if F.flow net a > 0 then begin
+          let r = adj.(l).(i) in
+          assignment.(l) <- r;
+          right_load.(r) <- right_load.(r) + 1;
+          incr matched
+        end)
+      middle.(l)
+  done;
+  { matched = !matched; assignment; right_load }
+
+let solve ?(algorithm = Dinic_flow) t =
+  match algorithm with
+  | Dinic_flow ->
+      let net, src, sink, middle = build_network t in
+      let (_ : int) = Dinic.max_flow net ~src ~sink in
+      outcome_of_flow t net middle
+  | Push_relabel_flow ->
+      let net, src, sink, middle = build_network t in
+      let (_ : int) = Push_relabel.max_flow net ~src ~sink in
+      outcome_of_flow t net middle
+  | Hopcroft_karp_matching ->
+      let r =
+        Hopcroft_karp.solve ~n_left:t.n_left ~n_right:t.n_right ~adj:(adjacency t)
+          ~right_cap:t.right_cap
+      in
+      { matched = r.Hopcroft_karp.size; assignment = r.assignment; right_load = r.right_load }
+
+let solve_min_cost t ~edge_cost =
+  let src = 0 in
+  let left_base = 1 in
+  let right_base = 1 + t.n_left in
+  let sink = 1 + t.n_left + t.n_right in
+  let net = Min_cost_flow.create (sink + 1) in
+  let adj = adjacency t in
+  for l = 0 to t.n_left - 1 do
+    ignore (Min_cost_flow.add_edge net ~src ~dst:(left_base + l) ~cap:1 ~cost:0)
+  done;
+  let middle = Array.make (max t.n_left 1) [||] in
+  for l = 0 to t.n_left - 1 do
+    middle.(l) <-
+      Array.map
+        (fun r ->
+          Min_cost_flow.add_edge net ~src:(left_base + l) ~dst:(right_base + r) ~cap:1
+            ~cost:(edge_cost ~left:l ~right:r))
+        adj.(l)
+  done;
+  for r = 0 to t.n_right - 1 do
+    ignore
+      (Min_cost_flow.add_edge net ~src:(right_base + r) ~dst:sink ~cap:t.right_cap.(r)
+         ~cost:0)
+  done;
+  let _value, _cost = Min_cost_flow.solve net ~src ~sink in
+  let assignment = Array.make t.n_left (-1) in
+  let right_load = Array.make t.n_right 0 in
+  let matched = ref 0 in
+  for l = 0 to t.n_left - 1 do
+    Array.iteri
+      (fun i a ->
+        if Min_cost_flow.flow net a > 0 then begin
+          let r = adj.(l).(i) in
+          assignment.(l) <- r;
+          right_load.(r) <- right_load.(r) + 1;
+          incr matched
+        end)
+      middle.(l)
+  done;
+  { matched = !matched; assignment; right_load }
+
+let solve_greedy ?(until_stable = false) ?warm_start ~rounds g t =
+  let adj = adjacency t in
+  let assignment = Array.make t.n_left (-1) in
+  let right_load = Array.make t.n_right 0 in
+  let matched = ref 0 in
+  (* persistent connections: re-seat requests on their previous server
+     when it is still adjacent and has capacity *)
+  (match warm_start with
+  | None -> ()
+  | Some ws ->
+      if Array.length ws <> t.n_left then
+        invalid_arg "Bipartite.solve_greedy: warm_start length mismatch";
+      Array.iteri
+        (fun l r ->
+          if
+            r >= 0 && r < t.n_right
+            && right_load.(r) < t.right_cap.(r)
+            && Array.mem r adj.(l)
+          then begin
+            assignment.(l) <- r;
+            right_load.(r) <- right_load.(r) + 1;
+            incr matched
+          end)
+        ws);
+  let progress = ref true in
+  let round = ref 0 in
+  while (if until_stable then !progress else !round < rounds) && !matched < t.n_left do
+    incr round;
+    if until_stable && !round > rounds * 1000 then progress := false
+    else begin
+      progress := false;
+      (* 1. proposals: every unmatched request picks one candidate with
+         spare capacity, uniformly at random *)
+      let proposals = Array.init (max t.n_right 1) (fun _ -> Vec.create ()) in
+      for l = 0 to t.n_left - 1 do
+        if assignment.(l) = -1 then begin
+          let open_candidates =
+            Array.to_list adj.(l)
+            |> List.filter (fun r -> right_load.(r) < t.right_cap.(r))
+          in
+          match open_candidates with
+          | [] -> ()
+          | candidates ->
+              let arr = Array.of_list candidates in
+              Vec.push proposals.(arr.(Vod_util.Prng.int g (Array.length arr))) l
+        end
+      done;
+      (* 2. acceptance: each box takes a random subset up to capacity *)
+      for r = 0 to t.n_right - 1 do
+        let incoming = Vec.to_array proposals.(r) in
+        if Array.length incoming > 0 then begin
+          Vod_util.Sample.shuffle g incoming;
+          let accept = min (Array.length incoming) (t.right_cap.(r) - right_load.(r)) in
+          for i = 0 to accept - 1 do
+            assignment.(incoming.(i)) <- r;
+            right_load.(r) <- right_load.(r) + 1;
+            incr matched;
+            progress := true
+          done
+        end
+      done
+    end
+  done;
+  { matched = !matched; assignment; right_load }
+
+let is_feasible ?(algorithm = Dinic_flow) t =
+  let o = solve ~algorithm t in
+  o.matched = t.n_left
+
+type violator = { requests : int list; servers : int list; server_slots : int }
+
+let hall_violator t =
+  let net, src, sink, _middle = build_network t in
+  let value = Dinic.max_flow net ~src ~sink in
+  if value = t.n_left then None
+  else begin
+    (* Source side S of the min cut.  X = requests in S; because
+       request->box arcs carry flow at most 1 but have capacity 1 — we
+       need them uncuttable, so recompute reachability treating middle
+       arcs as uncut: a middle arc from a reachable request is only
+       saturated if the request is matched, and then the box is reached
+       through the reverse arc of the box->sink path...  To keep the
+       certificate exact we rebuild the network with unbounded middle
+       arcs. *)
+    let adj = adjacency t in
+    let left_base = 1 in
+    let right_base = 1 + t.n_left in
+    let sink' = 1 + t.n_left + t.n_right in
+    let net' = F.create (sink' + 1) in
+    for l = 0 to t.n_left - 1 do
+      ignore (F.add_edge net' ~src:0 ~dst:(left_base + l) ~cap:1)
+    done;
+    for l = 0 to t.n_left - 1 do
+      Array.iter
+        (fun r ->
+          ignore
+            (F.add_edge net' ~src:(left_base + l) ~dst:(right_base + r)
+               ~cap:F.infinite_capacity))
+        adj.(l)
+    done;
+    for r = 0 to t.n_right - 1 do
+      ignore (F.add_edge net' ~src:(right_base + r) ~dst:sink' ~cap:t.right_cap.(r))
+    done;
+    let value' = Dinic.max_flow net' ~src:0 ~sink:sink' in
+    assert (value' = value);
+    let reachable = F.residual_reachable net' ~src:0 in
+    let requests = ref [] and servers = ref [] and slots = ref 0 in
+    for l = t.n_left - 1 downto 0 do
+      if Bitset.mem reachable (left_base + l) then requests := l :: !requests
+    done;
+    for r = t.n_right - 1 downto 0 do
+      if Bitset.mem reachable (right_base + r) then begin
+        servers := r :: !servers;
+        slots := !slots + t.right_cap.(r)
+      end
+    done;
+    Some { requests = !requests; servers = !servers; server_slots = !slots }
+  end

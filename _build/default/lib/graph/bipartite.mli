@@ -1,0 +1,81 @@
+(** Bipartite b-matching instances — the "connection matching" of the
+    paper (Section 2.2).  Left vertices are stripe requests (each needs
+    exactly one server), right vertices are boxes with an integral number
+    of upload slots; an edge means the box possesses the data the request
+    needs next round.
+
+    Lemma 1 (min-cut max-flow / generalised Hall): a full matching exists
+    iff every request subset [X] satisfies [slots(B(X)) >= |X|].  When no
+    full matching exists, {!hall_violator} extracts a violating set from
+    the minimum cut as an explicit infeasibility certificate. *)
+
+type t
+
+val create : n_left:int -> n_right:int -> right_cap:int array -> t
+(** @raise Invalid_argument on negative sizes or capacities, or when
+    [right_cap] has length other than [n_right]. *)
+
+val add_edge : t -> left:int -> right:int -> unit
+(** Declares that box [right] can serve request [left].  Duplicate edges
+    are tolerated (they do not change the instance).
+    @raise Invalid_argument on out-of-range endpoints. *)
+
+val n_left : t -> int
+val n_right : t -> int
+val right_cap : t -> int array
+val adjacency : t -> int array array
+(** Left-to-right adjacency with duplicates removed. *)
+
+val degree : t -> int -> int
+(** Number of distinct boxes able to serve a request. *)
+
+type algorithm = Dinic_flow | Push_relabel_flow | Hopcroft_karp_matching
+
+type outcome = {
+  matched : int;  (** Number of requests served. *)
+  assignment : int array;  (** request -> serving box, or -1. *)
+  right_load : int array;  (** Slots used per box. *)
+}
+
+val solve : ?algorithm:algorithm -> t -> outcome
+(** Maximum matching; default algorithm {!Dinic_flow}. *)
+
+val solve_min_cost : t -> edge_cost:(left:int -> right:int -> int) -> outcome
+(** Maximum matching of minimum total edge cost (successive shortest
+    paths).  The matching size always equals {!solve}'s; among all
+    maximum matchings the one minimising the sum of [edge_cost] over
+    used request-to-box connections is returned.  Used by the engine's
+    cache-preferring scheduler. *)
+
+val solve_greedy :
+  ?until_stable:bool ->
+  ?warm_start:int array ->
+  rounds:int ->
+  Vod_util.Prng.t ->
+  t ->
+  outcome
+(** Distributed-flavoured matching by parallel proposal rounds: each
+    unmatched request proposes to a uniformly random adjacent box with
+    spare capacity; boxes accept proposals up to capacity (random
+    subset when oversubscribed); accepted connections persist.  After
+    [rounds] rounds (or, with [until_stable], once no proposal can be
+    made) the partial matching is returned.  When stable the matching
+    is {e maximal}, hence at least half the optimum; with few rounds it
+    models what boxes can negotiate without any global view.
+    [warm_start] pre-seats requests on their previous servers (entries
+    are box ids or -1; invalid or over-capacity seats are ignored) —
+    persistent connections, as a deployed system would keep. *)
+
+val is_feasible : ?algorithm:algorithm -> t -> bool
+(** True iff every request can be served simultaneously. *)
+
+type violator = {
+  requests : int list;  (** The set X of requests. *)
+  servers : int list;  (** B(X): every box adjacent to X. *)
+  server_slots : int;  (** Total upload slots of B(X), < |X|. *)
+}
+
+val hall_violator : t -> violator option
+(** [None] when the instance is feasible; otherwise a certificate set
+    [X] with [slots(B(X)) < |X|], extracted from the min cut of a
+    maximum flow. *)

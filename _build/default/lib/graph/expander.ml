@@ -1,0 +1,94 @@
+open Vod_util
+
+let check_small adj =
+  let n = Array.length adj in
+  if n = 0 then invalid_arg "Expander: empty left side";
+  if n > 22 then invalid_arg "Expander: exact scan limited to 22 left vertices";
+  n
+
+(* Enumerate subsets as bitmasks; neighbourhood weights are accumulated
+   incrementally per mask using the lowest set bit. *)
+let exact_scan adj weight_of_right n_right =
+  let n = check_small adj in
+  let neighbour_mask = Array.make n 0 in
+  ignore n_right;
+  Array.iteri
+    (fun l rights -> Array.iter (fun r -> neighbour_mask.(l) <- neighbour_mask.(l) lor (1 lsl r)) rights)
+    adj;
+  let best = ref infinity in
+  for mask = 1 to (1 lsl n) - 1 do
+    let union = ref 0 and size = ref 0 in
+    for l = 0 to n - 1 do
+      if mask land (1 lsl l) <> 0 then begin
+        union := !union lor neighbour_mask.(l);
+        incr size
+      end
+    done;
+    let w = ref 0.0 in
+    let u = ref !union and r = ref 0 in
+    while !u <> 0 do
+      if !u land 1 <> 0 then w := !w +. weight_of_right !r;
+      u := !u lsr 1;
+      incr r
+    done;
+    let ratio = !w /. float_of_int !size in
+    if ratio < !best then best := ratio
+  done;
+  !best
+
+let exact_min_ratio ~adj ~n_right =
+  if n_right > 62 then invalid_arg "Expander: exact scan limited to 62 right vertices";
+  exact_scan adj (fun _ -> 1.0) n_right
+
+let exact_min_slot_ratio ~adj ~right_cap =
+  let n_right = Array.length right_cap in
+  if n_right > 62 then invalid_arg "Expander: exact scan limited to 62 right vertices";
+  exact_scan adj (fun r -> float_of_int right_cap.(r)) n_right
+
+let slot_ratio adj right_cap members =
+  let seen = Bitset.create (Array.length right_cap) in
+  let slots = ref 0 and size = ref 0 in
+  Array.iteri
+    (fun l in_set ->
+      if in_set then begin
+        incr size;
+        Array.iter
+          (fun r ->
+            if not (Bitset.mem seen r) then begin
+              Bitset.add seen r;
+              slots := !slots + right_cap.(r)
+            end)
+          adj.(l)
+      end)
+    members;
+  if !size = 0 then infinity else float_of_int !slots /. float_of_int !size
+
+let sampled_min_slot_ratio g ~adj ~right_cap ~samples =
+  let n = Array.length adj in
+  if n = 0 then infinity
+  else begin
+    let best = ref infinity in
+    for _ = 1 to samples do
+      let members = Array.init n (fun _ -> Prng.bool g) in
+      if not (Array.exists Fun.id members) then members.(Prng.int g n) <- true;
+      let current = ref (slot_ratio adj right_cap members) in
+      (* Greedy descent: drop any member whose removal lowers the ratio. *)
+      let improved = ref true in
+      while !improved do
+        improved := false;
+        for l = 0 to n - 1 do
+          if members.(l) then begin
+            members.(l) <- false;
+            let candidate = slot_ratio adj right_cap members in
+            if candidate < !current then begin
+              current := candidate;
+              improved := true
+            end
+            else members.(l) <- true
+          end
+        done
+      done;
+      if !current < !best then best := !current
+    done;
+    !best
+  end

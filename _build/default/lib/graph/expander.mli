@@ -1,0 +1,25 @@
+(** Expansion measurement for bipartite "who can serve what" graphs.
+
+    Theorem 1's proof shows that with high probability the random
+    allocation graph is a [1/(uc)]-expander: every request set [X] has
+    [|B(X)| >= |X|/(uc)].  These helpers measure the worst-case
+    expansion ratio of concrete graphs — exactly for small instances
+    (subset enumeration) and by randomised local search for larger
+    ones. *)
+
+val exact_min_ratio : adj:int array array -> n_right:int -> float
+(** Minimum of [|N(X)| / |X|] over all non-empty subsets [X] of left
+    vertices.  Exponential scan; @raise Invalid_argument when the left
+    side exceeds 22 vertices or is empty. *)
+
+val exact_min_slot_ratio : adj:int array array -> right_cap:int array -> float
+(** Same, weighting each right vertex by its slot count:
+    min of [slots(N(X)) / |X|].  This is exactly the quantity Lemma 1
+    requires to stay at or above 1 (in slot units).
+    @raise Invalid_argument as {!exact_min_ratio}. *)
+
+val sampled_min_slot_ratio :
+  Vod_util.Prng.t -> adj:int array array -> right_cap:int array -> samples:int -> float
+(** Randomised upper bound on the minimum slot-expansion ratio: random
+    subsets refined by greedy element removal until a local minimum.
+    Returns [infinity] for an empty left side. *)

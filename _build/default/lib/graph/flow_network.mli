@@ -1,0 +1,61 @@
+(** Mutable residual flow network with integer capacities.
+
+    Arcs are stored in interleaved forward/backward pairs: arc [2i] is the
+    forward arc of the [i]-th added edge and arc [2i+1] its residual
+    reverse.  All max-flow algorithms in this library ({!Dinic},
+    {!Push_relabel}) operate destructively on this structure; call
+    {!reset_flow} to reuse a network. *)
+
+type t
+
+type arc = int
+(** Arc identifier, as returned by {!add_edge}. *)
+
+val infinite_capacity : int
+(** A capacity treated as unbounded ([max_int/4], safe against summing). *)
+
+val create : int -> t
+(** [create n] is an empty network on nodes [0..n-1]. *)
+
+val node_count : t -> int
+
+val arc_count : t -> int
+(** Number of arcs including reverse arcs (always even). *)
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> arc
+(** Adds a directed edge and its zero-capacity reverse.  Returns the
+    forward arc id.  @raise Invalid_argument on negative capacity or
+    out-of-range endpoints. *)
+
+val arc_src : t -> arc -> int
+val arc_dst : t -> arc -> int
+
+val capacity : t -> arc -> int
+(** Original capacity of the arc (0 for reverse arcs). *)
+
+val flow : t -> arc -> int
+(** Current flow on a forward arc (negative on reverse arcs). *)
+
+val residual : t -> arc -> int
+(** Remaining capacity of the arc in the residual graph. *)
+
+val push : t -> arc -> int -> unit
+(** [push t a x] sends [x] additional units along [a] (internal use by
+    the solvers; exposed for tests). *)
+
+val reset_flow : t -> unit
+(** Zero all flows, keeping the topology. *)
+
+val iter_arcs_from : t -> int -> (arc -> unit) -> unit
+(** Iterate over all arcs (forward and reverse) leaving a node. *)
+
+val fold_out_flow : t -> int -> int
+(** Net flow leaving a node (outgoing minus incoming on forward arcs). *)
+
+val residual_reachable : t -> src:int -> Vod_util.Bitset.t
+(** BFS over arcs with positive residual capacity; the source side of a
+    minimum cut once a maximum flow has been computed. *)
+
+val check_conservation : t -> src:int -> sink:int -> bool
+(** Flow conservation at every node except [src] and [sink], and
+    per-arc capacity constraints.  Used by tests and cross-validation. *)

@@ -1,0 +1,16 @@
+(** Capacitated Hopcroft–Karp bipartite matching.
+
+    Left vertices each need one unit (a stripe request); right vertices
+    accept up to [right_cap.(j)] units (a box's stripe-upload slots).
+    This is a direct combinatorial solver, independent of the flow-based
+    path, used for cross-validation and benchmarking (experiment E9). *)
+
+type result = {
+  size : int;  (** Number of matched left vertices. *)
+  assignment : int array;  (** left -> matched right, or -1. *)
+  right_load : int array;  (** Units used per right vertex. *)
+}
+
+val solve : n_left:int -> n_right:int -> adj:int array array -> right_cap:int array -> result
+(** @raise Invalid_argument on negative capacities, adjacency out of
+    range, or mismatched array lengths. *)

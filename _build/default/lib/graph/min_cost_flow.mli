@@ -1,0 +1,24 @@
+(** Minimum-cost maximum flow (successive shortest augmenting paths,
+    Bellman–Ford).  Used by the scheduler to bias connection matchings —
+    e.g. prefer serving from playback caches (cost 0) over static
+    replica holders (cost 1) so that sourcing capacity is kept free for
+    newcomers.  Instance sizes are one round's matching, so the simple
+    algorithm is more than fast enough. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty network on nodes [0..n-1]. *)
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> cost:int -> int
+(** Adds a directed edge, returns its id (usable with {!flow}).
+    @raise Invalid_argument on negative capacity or endpoints out of
+    range.  Costs may be negative as long as the graph has no
+    negative-cost cycle. *)
+
+val solve : t -> src:int -> sink:int -> int * int
+(** [(value, cost)] of a maximum flow of minimum total cost, computed
+    destructively.  @raise Invalid_argument when [src = sink]. *)
+
+val flow : t -> int -> int
+(** Flow currently carried by the edge (after {!solve}). *)

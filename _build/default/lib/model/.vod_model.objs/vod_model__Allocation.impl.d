@@ -1,0 +1,1 @@
+lib/model/allocation.ml: Array Box Catalog Hashtbl Printf Vec Vod_util

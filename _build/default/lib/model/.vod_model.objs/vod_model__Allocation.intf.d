@@ -1,0 +1,1 @@
+lib/model/allocation.mli: Box Catalog

@@ -1,0 +1,1 @@
+lib/model/box.ml: Array Format List Sample Vod_util

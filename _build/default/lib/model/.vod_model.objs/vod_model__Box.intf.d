@@ -1,0 +1,1 @@
+lib/model/box.mli: Format Vod_util

@@ -1,0 +1,1 @@
+lib/model/catalog.ml: Array Format

@@ -1,0 +1,1 @@
+lib/model/codec.ml: Allocation Array Box Buffer Catalog Fun List Printf String

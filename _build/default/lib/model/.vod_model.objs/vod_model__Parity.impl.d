@@ -1,0 +1,1 @@
+lib/model/parity.ml: Array Char Option String

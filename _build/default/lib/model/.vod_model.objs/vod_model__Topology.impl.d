@@ -1,0 +1,1 @@
+lib/model/topology.ml: Array Vod_util

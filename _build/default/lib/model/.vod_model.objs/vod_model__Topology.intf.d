@@ -1,0 +1,1 @@
+lib/model/topology.mli: Vod_util

@@ -1,0 +1,90 @@
+open Vod_util
+
+type t = {
+  cat : Catalog.t;
+  n_boxes : int;
+  boxes_of_stripe : int array array;
+  stripes_of_box : int array array;
+}
+
+let of_replica_lists ~catalog ~n_boxes boxes_of_stripe =
+  if Array.length boxes_of_stripe <> Catalog.total_stripes catalog then
+    invalid_arg "Allocation.of_replica_lists: outer length must be total stripe count";
+  if n_boxes < 1 then invalid_arg "Allocation.of_replica_lists: n_boxes must be >= 1";
+  let per_box = Array.init n_boxes (fun _ -> Vec.create ()) in
+  Array.iteri
+    (fun stripe replicas ->
+      let seen = Hashtbl.create (Array.length replicas) in
+      Array.iter
+        (fun b ->
+          if b < 0 || b >= n_boxes then
+            invalid_arg "Allocation.of_replica_lists: box out of range";
+          if Hashtbl.mem seen b then
+            invalid_arg "Allocation.of_replica_lists: duplicate replica in one box";
+          Hashtbl.add seen b ();
+          Vec.push per_box.(b) stripe)
+        replicas)
+    boxes_of_stripe;
+  {
+    cat = catalog;
+    n_boxes;
+    boxes_of_stripe = Array.map Array.copy boxes_of_stripe;
+    stripes_of_box = Array.map Vec.to_array per_box;
+  }
+
+let catalog t = t.cat
+let n_boxes t = t.n_boxes
+
+let boxes_of_stripe t s =
+  if s < 0 || s >= Array.length t.boxes_of_stripe then
+    invalid_arg "Allocation.boxes_of_stripe: out of range";
+  t.boxes_of_stripe.(s)
+
+let stripes_of_box t b =
+  if b < 0 || b >= t.n_boxes then invalid_arg "Allocation.stripes_of_box: out of range";
+  t.stripes_of_box.(b)
+
+let replica_count t s = Array.length (boxes_of_stripe t s)
+let box_load t b = Array.length (stripes_of_box t b)
+
+let possesses t ~box ~stripe = Array.mem box (boxes_of_stripe t stripe)
+
+let stores_video t ~box ~video =
+  Array.exists (fun s -> possesses t ~box ~stripe:s) (Catalog.stripes_of_video t.cat video)
+
+let videos_not_stored t ~box =
+  let c = Catalog.stripes_per_video t.cat in
+  let stored = Array.make (Catalog.videos t.cat) false in
+  Array.iter (fun s -> stored.(s / c) <- true) (stripes_of_box t box);
+  let missing = ref [] in
+  for v = Catalog.videos t.cat - 1 downto 0 do
+    if not stored.(v) then missing := v :: !missing
+  done;
+  !missing
+
+let validate t ~fleet ~c =
+  if Array.length fleet <> t.n_boxes then Error "fleet size mismatch"
+  else begin
+    let problem = ref None in
+    Array.iteri
+      (fun b box ->
+        let slots = Box.storage_slots ~c box in
+        let load = box_load t b in
+        if load > slots && !problem = None then
+          problem := Some (Printf.sprintf "box %d stores %d replicas but has %d slots" b load slots))
+      fleet;
+    for s = 0 to Catalog.total_stripes t.cat - 1 do
+      if replica_count t s = 0 && !problem = None then
+        problem := Some (Printf.sprintf "stripe %d has no replica" s)
+    done;
+    match !problem with None -> Ok () | Some msg -> Error msg
+  end
+
+let storage_utilisation t ~fleet ~c =
+  let used = ref 0 and avail = ref 0 in
+  Array.iteri
+    (fun b box ->
+      used := !used + box_load t b;
+      avail := !avail + Box.storage_slots ~c box)
+    fleet;
+  if !avail = 0 then 0.0 else float_of_int !used /. float_of_int !avail

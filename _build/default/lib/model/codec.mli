@@ -1,0 +1,32 @@
+(** Plain-text (de)serialisation of allocations, so a layout computed
+    once (e.g. by an operator with `vodctl allocate`) can be shipped to
+    boxes and reloaded bit-identically.
+
+    Format (line oriented):
+    {v
+    vod-allocation v1
+    catalog <m> <c>
+    boxes <n>
+    <stripe-id>: <box> <box> ...
+    v}
+    Stripe lines may appear in any order; omitted stripes have no
+    replica. *)
+
+val to_string : Allocation.t -> string
+
+val of_string : string -> (Allocation.t, string) result
+(** Parses; [Error] describes the first offending line. *)
+
+val save : Allocation.t -> path:string -> unit
+val load : path:string -> (Allocation.t, string) result
+
+(** Fleet (box capacities) serialisation, same line-oriented style:
+    {v
+    vod-fleet v1
+    <id> <upload> <storage>
+    v} *)
+
+val fleet_to_string : Box.t array -> string
+val fleet_of_string : string -> (Box.t array, string) result
+val save_fleet : Box.t array -> path:string -> unit
+val load_fleet : path:string -> (Box.t array, string) result

@@ -1,0 +1,69 @@
+(* All packets must share one size (the norm for media containers);
+   this keeps XOR reconstruction exact with no padding ambiguity. *)
+
+let packet_size stripes parity =
+  let size = ref (-1) in
+  let check p =
+    if !size = -1 then size := String.length p
+    else if String.length p <> !size then
+      invalid_arg "Parity: packets must all have the same size"
+  in
+  Array.iter (Option.iter (Array.iter check)) stripes;
+  Array.iter check parity;
+  !size
+
+let xor_packets a b = String.init (String.length a) (fun i ->
+    Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+let parity_stripe stripes =
+  let c = Array.length stripes in
+  if c = 0 then invalid_arg "Parity.parity_stripe: no stripes";
+  let size = packet_size (Array.map Option.some stripes) [||] in
+  let len = Array.fold_left (fun acc s -> max acc (Array.length s)) 0 stripes in
+  let zero = String.make (max size 0) '\000' in
+  Array.init len (fun j ->
+      Array.fold_left
+        (fun acc s -> if j < Array.length s then xor_packets acc s.(j) else acc)
+        zero stripes)
+
+(* stripe [i] of an N-packet video split c ways has ceil((N - i)/c)
+   packets *)
+let shape_length ~total ~c ~index = (total - index + c - 1) / c
+
+let recover ~total_packets ~stripes ~parity =
+  let c = Array.length stripes in
+  if c = 0 then invalid_arg "Parity.recover: no stripes";
+  let missing = ref [] in
+  Array.iteri (fun i s -> if s = None then missing := i :: !missing) stripes;
+  match !missing with
+  | [] -> invalid_arg "Parity.recover: nothing is missing"
+  | [ lost ] ->
+      let size = packet_size stripes parity in
+      (* every present stripe must match split's shape for the declared
+         video size *)
+      Array.iteri
+        (fun i s ->
+          match s with
+          | Some st ->
+              if Array.length st <> shape_length ~total:total_packets ~c ~index:i then
+                invalid_arg "Parity.recover: stripe lengths inconsistent with the split"
+          | None -> ())
+        stripes;
+      if Array.length parity <> shape_length ~total:total_packets ~c ~index:0 then
+        invalid_arg "Parity.recover: parity length inconsistent with the split";
+      let lost_len = shape_length ~total:total_packets ~c ~index:lost in
+      let zero = String.make (max size 0) '\000' in
+      let rebuilt =
+        Array.init lost_len (fun j ->
+            let acc = ref (if j < Array.length parity then parity.(j) else zero) in
+            Array.iteri
+              (fun i s ->
+                match s with
+                | Some st when i <> lost && j < Array.length st ->
+                    acc := xor_packets !acc st.(j)
+                | _ -> ())
+              stripes;
+            !acc)
+      in
+      Array.mapi (fun _ s -> match s with Some st -> st | None -> rebuilt) stripes
+  | _ -> invalid_arg "Parity.recover: more than one stripe missing"

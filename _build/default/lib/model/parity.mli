@@ -1,0 +1,28 @@
+(** XOR parity across stripes — single-erasure protection for the data
+    plane.  A video striped into [c] data stripes gains one parity
+    stripe whose packet [j] is the XOR of packet [j] of every data
+    stripe; any single lost stripe (a failed or churned server) is then
+    reconstructible on the fly without renegotiating, at the cost of
+    [1/c] extra rate.  This extends the paper's plain striping with the
+    redundancy a production system would add. *)
+
+val parity_stripe : Striping.video array -> Striping.video
+(** Parity over the stripes produced by {!Striping.split}.  All packets
+    must share one size (as media containers do); the parity stripe is
+    as long as the longest data stripe, shorter stripes contributing
+    zeros.  @raise Invalid_argument on an empty array or uneven packet
+    sizes. *)
+
+val recover :
+  total_packets:int ->
+  stripes:Striping.video option array ->
+  parity:Striping.video ->
+  Striping.video array
+(** Reconstruct the one missing stripe ([None] entry) from the others
+    and the parity, for a video of [total_packets] packets (the video
+    size is catalog metadata in any real system — stripe shapes alone
+    cannot disambiguate the boundary stripe's length).  Returns the
+    complete stripe array.
+    @raise Invalid_argument when zero or more than one stripe is
+    missing, or lengths are inconsistent with {!Striping.split}'s
+    output for [total_packets]. *)

@@ -1,0 +1,42 @@
+type video = string array
+
+let split ~c v =
+  if c < 1 then invalid_arg "Striping.split: c must be >= 1";
+  let n = Array.length v in
+  Array.init c (fun i ->
+      let len = (n - i + c - 1) / c in
+      Array.init len (fun j -> v.((j * c) + i)))
+
+let join stripes =
+  let c = Array.length stripes in
+  if c = 0 then invalid_arg "Striping.join: no stripes";
+  let lens = Array.map Array.length stripes in
+  let min_len = Array.fold_left min max_int lens in
+  let max_len = Array.fold_left max 0 lens in
+  if max_len - min_len > 1 then invalid_arg "Striping.join: incoherent stripe lengths";
+  (* lengths must be non-increasing across stripe indices, as split
+     produces them *)
+  Array.iteri
+    (fun i len ->
+      if i > 0 && len > lens.(i - 1) then
+        invalid_arg "Striping.join: incoherent stripe lengths")
+    lens;
+  let total = Array.fold_left ( + ) 0 lens in
+  Array.init total (fun idx -> stripes.(idx mod c).(idx / c))
+
+let prefix ~stripes ~rounds =
+  let c = Array.length stripes in
+  if c = 0 then invalid_arg "Striping.prefix: no stripes";
+  if rounds < 0 then invalid_arg "Striping.prefix: negative rounds";
+  Array.iter
+    (fun s ->
+      if Array.length s < rounds then
+        invalid_arg "Striping.prefix: rounds exceeds stripe length")
+    stripes;
+  Array.init (rounds * c) (fun idx -> stripes.(idx mod c).(idx / c))
+
+let stripe_length ~total_packets ~c ~index =
+  if c < 1 then invalid_arg "Striping.stripe_length: c must be >= 1";
+  if index < 0 || index >= c then invalid_arg "Striping.stripe_length: index out of range";
+  if total_packets < 0 then invalid_arg "Striping.stripe_length: negative size";
+  (total_packets - index + c - 1) / c

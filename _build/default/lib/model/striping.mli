@@ -1,0 +1,33 @@
+(** The stripe encoding of Section 1.1, at the packet level.
+
+    A video is a sequence of fixed-size packets; stripe [i] of [c] is
+    the subsequence of packets whose index is congruent to [i] mod [c].
+    Downloading all [c] stripes in parallel at rate [1/c] each
+    reconstructs the original stream in playback order: after [p]
+    rounds a viewer holds the first [p] packets of every stripe, i.e.
+    the first [p*c] packets of the video — exactly the prefix needed to
+    play [p] rounds of content.  These functions implement the codec
+    and its prefix-decodability property, used by tests and by anyone
+    building a data plane on top of the control plane simulated here. *)
+
+type video = string array
+(** A video as an array of packets (opaque byte strings). *)
+
+val split : c:int -> video -> video array
+(** [split ~c v] is the [c] stripes of [v]; stripe [i] holds packets
+    [i, i+c, i+2c, ...].  @raise Invalid_argument if [c < 1]. *)
+
+val join : video array -> video
+(** Inverse of {!split}.  The stripes may differ in length by at most
+    one packet (as produced by {!split}).
+    @raise Invalid_argument on an empty array or incoherent lengths. *)
+
+val prefix : stripes:video array -> rounds:int -> video
+(** The playable prefix after [rounds] rounds of parallel download:
+    the first [rounds] packets of every stripe, interleaved back into
+    stream order.  @raise Invalid_argument when [rounds] exceeds the
+    shortest stripe or is negative. *)
+
+val stripe_length : total_packets:int -> c:int -> index:int -> int
+(** Number of packets in stripe [index] of a [total_packets]-packet
+    video. *)

@@ -1,0 +1,1 @@
+lib/proto/protocol.ml: Allocation Array Box Catalog Fun Hashtbl Heap List Option Params Prng Sample Vec Vod_directory Vod_model Vod_util

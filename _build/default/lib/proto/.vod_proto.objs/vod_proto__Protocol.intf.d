@@ -1,0 +1,1 @@
+lib/proto/protocol.mli: Allocation Box Params Vod_model

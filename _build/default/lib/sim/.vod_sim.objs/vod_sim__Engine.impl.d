@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Allocation Array Bitset Box Catalog Float Hashtbl List Option Params Topology Vec Vod_analysis Vod_graph Vod_model Vod_util

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Allocation Box Params Topology Vod_analysis Vod_graph Vod_model

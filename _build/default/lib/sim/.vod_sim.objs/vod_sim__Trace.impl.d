@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Buffer Engine Fun List Metrics Printf Vec Vod_util

@@ -1,0 +1,492 @@
+open Vod_util
+open Vod_model
+
+type kind = Preload | Postponed | Relayed_preload | Relayed_postponed
+
+type request = {
+  stripe : int;
+  owner : int;
+  requester : int;
+  issued_at : int;
+  kind : kind;
+  mutable progress : int;
+  mutable last_server : int; (* box that served the previous round, -1 *)
+}
+
+type failure_policy = Fail_fast | Continue
+
+type scheduler =
+  | Arbitrary
+  | Prefer_cache
+  | Sticky
+  | Greedy_proposals of int
+  | Prefer_local
+  | Balance_load
+
+type round_report = {
+  time : int;
+  new_demands : int;
+  active_requests : int;
+  served : int;
+  unserved : int;
+  served_from_cache : int;
+  rewired : int;
+  cross_group : int;
+  busy_boxes : int;
+}
+
+exception Defeated of round_report
+
+type t = {
+  params : Params.t;
+  fleet : Box.t array;
+  alloc : Allocation.t;
+  compensation : Vod_analysis.Theorem2.compensation option;
+  policy : failure_policy;
+  preloading : bool;
+  scheduler : scheduler;
+  topology : Topology.t option;
+  online : bool array;
+  mutable last_loads : int array;
+  cumulative_loads : int array; (* stripe-rounds served per box, ever *)
+  capacity : int array; (* matching upload slots per box, net of reservations *)
+  mutable now : int;
+  active : request Vec.t;
+  scheduled : (int, request Vec.t) Hashtbl.t; (* activation time -> requests *)
+  recent : (int, request Vec.t) Hashtbl.t; (* stripe -> recent requests, in issue order *)
+  busy_until : int array;
+  stripe_counter : int array; (* per video: preload round-robin *)
+  swarm : int Vec.t array; (* per video: entry times, ordered *)
+  pending : (int * int) Vec.t; (* (box, video) demands for the next step *)
+  mutable last_violator : Vod_graph.Bipartite.violator option;
+  sched_rng : Vod_util.Prng.t; (* randomness for the decentralised scheduler *)
+  demand_round : int array; (* per box: round of its current demand's first request *)
+  awaiting_first : int array; (* per box: stripes of the current demand not yet streaming *)
+  startups : int Vec.t; (* realised start-up delays, in rounds *)
+}
+
+let create ~params ~fleet ~alloc ?compensation ?(policy = Fail_fast)
+    ?(preloading = true) ?(scheduler = Arbitrary) ?topology () =
+  let n = params.Params.n in
+  (match (scheduler, topology) with
+  | Prefer_local, None ->
+      invalid_arg "Engine.create: Prefer_local requires a topology"
+  | _, Some topo ->
+      if Topology.n topo <> n then invalid_arg "Engine.create: topology size <> n"
+  | _, None -> ());
+  if Array.length fleet <> n then invalid_arg "Engine.create: fleet size <> params.n";
+  if Allocation.n_boxes alloc <> n then invalid_arg "Engine.create: allocation box count";
+  if Catalog.stripes_per_video (Allocation.catalog alloc) <> params.Params.c then
+    invalid_arg "Engine.create: allocation stripe count <> params.c";
+  let capacity =
+    Array.mapi
+      (fun b box ->
+        let reserved =
+          match compensation with
+          | Some comp -> comp.Vod_analysis.Theorem2.reserved.(b)
+          | None -> 0.0
+        in
+        max 0 (Params.upload_slots params (Float.max 0.0 (box.Box.upload -. reserved))))
+      fleet
+  in
+  let m = Catalog.videos (Allocation.catalog alloc) in
+  {
+    params;
+    fleet;
+    alloc;
+    compensation;
+    policy;
+    preloading;
+    scheduler;
+    topology;
+    online = Array.make n true;
+    last_loads = Array.make n 0;
+    cumulative_loads = Array.make n 0;
+    capacity;
+    now = 0;
+    active = Vec.create ();
+    scheduled = Hashtbl.create 64;
+    recent = Hashtbl.create 256;
+    busy_until = Array.make n 0;
+    stripe_counter = Array.make (max m 1) 0;
+    swarm = Array.init (max m 1) (fun _ -> Vec.create ());
+    pending = Vec.create ();
+    sched_rng = Vod_util.Prng.create ~seed:0x7ea ();
+    last_violator = None;
+    demand_round = Array.make n 0;
+    awaiting_first = Array.make n 0;
+    startups = Vec.create ();
+  }
+
+let params t = t.params
+let fleet t = t.fleet
+let alloc t = t.alloc
+let now t = t.now
+let is_online t b = t.online.(b)
+let last_loads t = Array.copy t.last_loads
+let cumulative_loads t = Array.copy t.cumulative_loads
+let is_idle t b =
+  t.online.(b)
+  && t.busy_until.(b) <= t.now
+  && not (Vec.exists (fun (pb, _) -> pb = b) t.pending)
+
+let idle_boxes t =
+  let acc = ref [] in
+  for b = t.params.Params.n - 1 downto 0 do
+    if is_idle t b then acc := b :: !acc
+  done;
+  !acc
+
+let window_start t = t.now - t.params.Params.duration
+
+let swarm_size t v =
+  let entries = t.swarm.(v) in
+  let lo = window_start t in
+  (* entries are appended in time order: count the suffix within the
+     window (old entries are lazily dropped by rebuilding). *)
+  let count = ref 0 in
+  Vec.iter (fun e -> if e >= lo then incr count) entries;
+  !count
+
+let active_request_count t = Vec.length t.active
+let upload_slots_of_box t b = t.capacity.(b)
+
+let relay_of t b =
+  match t.compensation with
+  | None -> None
+  | Some comp ->
+      let r = comp.Vod_analysis.Theorem2.relay_of.(b) in
+      if r >= 0 then Some r else None
+
+let demand t ~box ~video =
+  let m = Catalog.videos (Allocation.catalog t.alloc) in
+  if box < 0 || box >= t.params.Params.n then invalid_arg "Engine.demand: box out of range";
+  if video < 0 || video >= m then invalid_arg "Engine.demand: video out of range";
+  if not (is_idle t box) then invalid_arg "Engine.demand: box is busy";
+  Vec.push t.pending (box, video)
+
+let schedule t time req =
+  let bucket =
+    match Hashtbl.find_opt t.scheduled time with
+    | Some v -> v
+    | None ->
+        let v = Vec.create () in
+        Hashtbl.add t.scheduled time v;
+        v
+  in
+  Vec.push bucket req
+
+(* Translate one user demand into its request schedule.  [time] is the
+   round at which the preloading request is issued. *)
+let emit_requests t ~box ~video ~time =
+  let c = t.params.Params.c in
+  let cat = Allocation.catalog t.alloc in
+  let preload_index = t.stripe_counter.(video) mod c in
+  t.stripe_counter.(video) <- t.stripe_counter.(video) + 1;
+  let stripe i = Catalog.stripe_id cat ~video ~index:i in
+  let make ~kind ~requester ~index ~at =
+    schedule t at
+      {
+        stripe = stripe index;
+        owner = box;
+        requester;
+        issued_at = at;
+        kind;
+        progress = 0;
+        last_server = -1;
+      }
+  in
+  Vec.push t.swarm.(video) time;
+  t.demand_round.(box) <- time;
+  t.awaiting_first.(box) <- c;
+  match relay_of t box with
+  | None ->
+      if t.preloading then begin
+        make ~kind:Preload ~requester:box ~index:preload_index ~at:time;
+        for j = 1 to c - 1 do
+          make ~kind:Postponed ~requester:box ~index:((preload_index + j) mod c)
+            ~at:(time + 1)
+        done
+      end
+      else
+        (* ablation: naive strategy, all stripes at once *)
+        for j = 0 to c - 1 do
+          make ~kind:Postponed ~requester:box ~index:j ~at:time
+        done;
+      t.busy_until.(box) <- time + t.params.Params.duration + 2
+  | Some relay ->
+      (* Theorem 2 strategy: preload via the relay at t, [cb] direct
+         requests at t+2, the rest via the relay at t+3. *)
+      let mu4 = t.params.Params.mu ** 4.0 in
+      let ub = t.fleet.(box).Box.upload in
+      let cb =
+        max 0
+          (min (c - 1)
+             (int_of_float (floor ((float_of_int c *. ub) -. (4.0 *. mu4)))))
+      in
+      make ~kind:Relayed_preload ~requester:relay ~index:preload_index ~at:time;
+      for j = 1 to cb do
+        make ~kind:Postponed ~requester:box ~index:((preload_index + j) mod c)
+          ~at:(time + 2)
+      done;
+      for j = cb + 1 to c - 1 do
+        make ~kind:Relayed_postponed ~requester:relay ~index:((preload_index + j) mod c)
+          ~at:(time + 3)
+      done;
+      t.busy_until.(box) <- time + t.params.Params.duration + 4
+
+(* Boxes that cache data of a request: the owner always; the relay too
+   when it forwarded the stripe (Section 4: r(b) caches what it
+   relays). *)
+let cachers req =
+  match req.kind with
+  | Preload | Postponed -> [ req.owner ]
+  | Relayed_preload | Relayed_postponed ->
+      if req.requester = req.owner then [ req.owner ] else [ req.owner; req.requester ]
+
+let prune_recent t =
+  let lo = window_start t in
+  Hashtbl.iter
+    (fun _ entries ->
+      if Vec.length entries > 0 && (Vec.get entries 0).issued_at < lo then begin
+        let kept = Vec.to_list entries |> List.filter (fun r -> r.issued_at >= lo) in
+        Vec.clear entries;
+        List.iter (Vec.push entries) kept
+      end)
+    t.recent;
+  (* occasionally rebuild swarm vectors to stay compact *)
+  Array.iter
+    (fun entries ->
+      if Vec.length entries > 64 && Vec.get entries 0 < lo then begin
+        let kept = Vec.to_list entries |> List.filter (fun e -> e >= lo) in
+        Vec.clear entries;
+        List.iter (Vec.push entries) kept
+      end)
+    t.swarm
+
+let recent_for t stripe =
+  match Hashtbl.find_opt t.recent stripe with
+  | Some v -> v
+  | None ->
+      let v = Vec.create () in
+      Hashtbl.add t.recent stripe v;
+      v
+
+(* Per-video request statistics for checking Lemma 2 on live traces:
+   for the set X of active requests of each video, the size i = |X|,
+   the number i1 of distinct stripes requested, and |B(X)|, the number
+   of online boxes possessing data some request needs. *)
+let video_request_stats t =
+  let c = t.params.Params.c in
+  let by_video = Hashtbl.create 16 in
+  Vec.iter
+    (fun req ->
+      let video = req.stripe / c in
+      let entry =
+        match Hashtbl.find_opt by_video video with
+        | Some e -> e
+        | None ->
+            let e = (ref 0, Hashtbl.create 8, Bitset.create t.params.Params.n) in
+            Hashtbl.add by_video video e;
+            e
+      in
+      let count, stripes, servers = entry in
+      incr count;
+      Hashtbl.replace stripes req.stripe ();
+      Array.iter
+        (fun b -> if t.online.(b) then Bitset.add servers b)
+        (Allocation.boxes_of_stripe t.alloc req.stripe);
+      Vec.iter
+        (fun candidate ->
+          if candidate.issued_at < req.issued_at && candidate.progress > req.progress
+          then
+            List.iter
+              (fun b -> if t.online.(b) then Bitset.add servers b)
+              (cachers candidate))
+        (recent_for t req.stripe))
+    t.active;
+  Hashtbl.fold
+    (fun video (count, stripes, servers) acc ->
+      (video, !count, Hashtbl.length stripes, Bitset.cardinal servers) :: acc)
+    by_video []
+
+let last_violator t = t.last_violator
+
+let startup_delays t = Vec.to_array t.startups
+
+(* The user stops watching: drop the box's in-flight and scheduled
+   requests and free it immediately.  Its playback cache entries remain
+   in [recent] and keep serving the swarm for the rest of the window,
+   exactly as a real departure mid-video would. *)
+let cancel t box =
+  if box < 0 || box >= t.params.Params.n then invalid_arg "Engine.cancel: box out of range";
+  let keep = Vec.to_list t.active |> List.filter (fun r -> r.owner <> box) in
+  Vec.clear t.active;
+  List.iter (Vec.push t.active) keep;
+  Hashtbl.iter
+    (fun _ batch ->
+      let keep = Vec.to_list batch |> List.filter (fun r -> r.owner <> box) in
+      Vec.clear batch;
+      List.iter (Vec.push batch) keep)
+    t.scheduled;
+  t.busy_until.(box) <- t.now;
+  t.awaiting_first.(box) <- 0
+
+let set_online t box online =
+  if box < 0 || box >= t.params.Params.n then
+    invalid_arg "Engine.set_online: box out of range";
+  if t.online.(box) && not online then begin
+    (* the viewer disappears: drop its in-flight and scheduled requests
+       (its static replicas become unavailable through the matching
+       capacity; its cache entries are filtered out while offline) *)
+    let keep = Vec.to_list t.active |> List.filter (fun r -> r.owner <> box) in
+    Vec.clear t.active;
+    List.iter (Vec.push t.active) keep;
+    Hashtbl.iter
+      (fun _ batch ->
+        let keep = Vec.to_list batch |> List.filter (fun r -> r.owner <> box) in
+        Vec.clear batch;
+        List.iter (Vec.push batch) keep)
+      t.scheduled;
+    t.busy_until.(box) <- t.now
+  end;
+  t.online.(box) <- online
+
+let step t =
+  let time = t.now + 1 in
+  t.now <- time;
+  (* 1. Turn pending user demands into scheduled requests. *)
+  let new_demands = Vec.length t.pending in
+  Vec.iter (fun (box, video) -> emit_requests t ~box ~video ~time) t.pending;
+  Vec.clear t.pending;
+  (* 2. Activate requests scheduled for this round. *)
+  (match Hashtbl.find_opt t.scheduled time with
+  | None -> ()
+  | Some batch ->
+      Vec.iter
+        (fun req ->
+          Vec.push t.active req;
+          Vec.push (recent_for t req.stripe) req)
+        batch;
+      Hashtbl.remove t.scheduled time);
+  (* 3. Retire completed requests and prune stale cache entries. *)
+  let still_active = Vec.to_list t.active |> List.filter (fun r -> r.progress < t.params.Params.duration) in
+  Vec.clear t.active;
+  List.iter (Vec.push t.active) still_active;
+  prune_recent t;
+  (* 4. Build the connection-matching instance (Section 2.2). *)
+  let requests = Vec.to_array t.active in
+  let n_left = Array.length requests in
+  let n = t.params.Params.n in
+  let right_cap =
+    Array.mapi (fun b cap -> if t.online.(b) then cap else 0) t.capacity
+  in
+  let instance = Vod_graph.Bipartite.create ~n_left ~n_right:n ~right_cap in
+  Array.iteri
+    (fun l req ->
+      Array.iter
+        (fun b ->
+          if t.online.(b) then Vod_graph.Bipartite.add_edge instance ~left:l ~right:b)
+        (Allocation.boxes_of_stripe t.alloc req.stripe);
+      Vec.iter
+        (fun candidate ->
+          if
+            candidate.issued_at < req.issued_at
+            && candidate.progress > req.progress
+          then
+            List.iter
+              (fun b ->
+                if t.online.(b) then
+                  Vod_graph.Bipartite.add_edge instance ~left:l ~right:b)
+              (cachers candidate))
+        (recent_for t req.stripe))
+    requests;
+  let outcome =
+    match t.scheduler with
+    | Arbitrary -> Vod_graph.Bipartite.solve instance
+    | Prefer_cache ->
+        (* serving from a static replica costs 1, from a cache 0: among
+           maximum matchings, minimise the load on the allocation *)
+        let cost ~left ~right =
+          if Allocation.possesses t.alloc ~box:right ~stripe:requests.(left).stripe
+          then 1
+          else 0
+        in
+        Vod_graph.Bipartite.solve_min_cost instance ~edge_cost:cost
+    | Sticky ->
+        (* keeping last round's connection costs 0, rewiring costs 1:
+           among maximum matchings, minimise connection churn *)
+        let cost ~left ~right = if requests.(left).last_server = right then 0 else 1 in
+        Vod_graph.Bipartite.solve_min_cost instance ~edge_cost:cost
+    | Greedy_proposals rounds ->
+        (* no global view: persistent connections carry over, then boxes
+           negotiate locally for a few rounds for the rest *)
+        let warm_start = Array.map (fun req -> req.last_server) requests in
+        Vod_graph.Bipartite.solve_greedy ~warm_start ~rounds t.sched_rng instance
+    | Prefer_local ->
+        (* among maximum matchings, minimise cross-group connections *)
+        let topo = Option.get t.topology in
+        let cost ~left ~right = Topology.cost topo requests.(left).owner right in
+        Vod_graph.Bipartite.solve_min_cost instance ~edge_cost:cost
+    | Balance_load ->
+        (* among maximum matchings, steer connections towards the boxes
+           that have served the least so far *)
+        let cost ~left:_ ~right = t.cumulative_loads.(right) in
+        Vod_graph.Bipartite.solve_min_cost instance ~edge_cost:cost
+  in
+  t.last_loads <- Array.copy outcome.Vod_graph.Bipartite.right_load;
+  Array.iteri
+    (fun b load -> t.cumulative_loads.(b) <- t.cumulative_loads.(b) + load)
+    outcome.Vod_graph.Bipartite.right_load;
+  (* 5. Progress the served requests and account cache vs allocation. *)
+  let served_from_cache = ref 0 and rewired = ref 0 and cross_group = ref 0 in
+  Array.iteri
+    (fun l req ->
+      let server = outcome.Vod_graph.Bipartite.assignment.(l) in
+      if server >= 0 then begin
+        if not (Allocation.possesses t.alloc ~box:server ~stripe:req.stripe) then
+          incr served_from_cache;
+        if req.last_server >= 0 && req.last_server <> server then incr rewired;
+        (match t.topology with
+        | Some topo -> if not (Topology.same_group topo req.owner server) then incr cross_group
+        | None -> ());
+        req.last_server <- server;
+        if req.progress = 0 then begin
+          (* first byte of this stripe: one fewer stream to wait for *)
+          t.awaiting_first.(req.owner) <- t.awaiting_first.(req.owner) - 1;
+          if t.awaiting_first.(req.owner) = 0 then
+            Vec.push t.startups (time - t.demand_round.(req.owner))
+        end;
+        req.progress <- req.progress + 1
+      end)
+    requests;
+  let unserved = n_left - outcome.Vod_graph.Bipartite.matched in
+  if unserved > 0 then t.last_violator <- Vod_graph.Bipartite.hall_violator instance;
+  let busy = ref 0 in
+  for b = 0 to n - 1 do
+    if not (is_idle t b) then incr busy
+  done;
+  let report =
+    {
+      time;
+      new_demands;
+      active_requests = n_left;
+      served = outcome.Vod_graph.Bipartite.matched;
+      unserved;
+      served_from_cache = !served_from_cache;
+      rewired = !rewired;
+      cross_group = !cross_group;
+      busy_boxes = !busy;
+    }
+  in
+  if unserved > 0 && t.policy = Fail_fast then raise (Defeated report);
+  report
+
+let run t ~rounds ~demands_for =
+  let reports = ref [] in
+  for _ = 1 to rounds do
+    let wanted = demands_for t (t.now + 1) in
+    List.iter (fun (box, video) -> if is_idle t box then demand t ~box ~video) wanted;
+    reports := step t :: !reports
+  done;
+  List.rev !reports

@@ -1,0 +1,194 @@
+(** The round-based Video-on-Demand simulator.
+
+    This implements the paper's model verbatim (Section 1.1):
+
+    - time is discrete; one round = connection set-up time;
+    - when a box demands video [v] in interval [t-1, t) it issues one
+      {e preloading} request at [t] for stripe number
+      [counter(v) mod c] (a per-video round-robin counter balances
+      preload stripes), then [c-1] {e postponed} requests at [t+1];
+      start-up delay is hence 3 rounds;
+    - each stripe request is served for [T] consecutive rounds (one
+      position per round);
+    - at every round the engine builds the bipartite graph linking each
+      request to the boxes possessing the data it needs next round —
+      the boxes storing the stripe per the static allocation, plus the
+      boxes whose own request for the same stripe was issued earlier
+      and within the playback-cache window [t - T <= t_j < t_i]
+      (Section 2.2) — and computes a connection matching by maximum
+      flow, box [b] having [floor (u_b * c)] upload slots;
+    - a round {e fails} when the matching cannot serve every request;
+      matched requests progress, unmatched ones stall, and a Hall
+      violator certificate can be extracted.
+
+    Heterogeneous relaying (Section 4, Theorem 2) is supported by
+    passing a compensation: each poor box routes its preload and tail
+    postponed requests through its rich relay on the doubled time
+    scale; statically reserved relay upload is excluded from the
+    matching capacity. *)
+
+open Vod_model
+
+type kind = Preload | Postponed | Relayed_preload | Relayed_postponed
+
+type request = {
+  stripe : int;
+  owner : int;  (** The box that will play the data. *)
+  requester : int;  (** The box issuing the request ([owner] or its relay). *)
+  issued_at : int;
+  kind : kind;
+  mutable progress : int;  (** Positions downloaded so far, 0..T. *)
+  mutable last_server : int;  (** Box that served last round, or -1. *)
+}
+
+type failure_policy =
+  | Fail_fast  (** Raise {!Defeated} on the first imperfect matching. *)
+  | Continue  (** Record the failure; unmatched requests stall. *)
+
+type scheduler =
+  | Arbitrary  (** Any maximum matching (plain max flow). *)
+  | Prefer_cache
+      (** Among maximum matchings, minimise the number of connections
+          served from static replicas (min-cost flow with cost 1 on
+          allocation edges): keeps sourcing capacity free for
+          newcomers. *)
+  | Sticky
+      (** Among maximum matchings, minimise connection churn: keeping
+          last round's server costs 0, rewiring costs 1.  One round is
+          by definition the connection set-up time, so rewirings are
+          the system's real overhead. *)
+  | Greedy_proposals of int
+      (** Decentralised scheduling: the given number of parallel
+          proposal/acceptance negotiation rounds instead of a global
+          max-flow — what boxes can actually compute without a
+          coordinator.  Not guaranteed maximum, so some requests may
+          stall even in feasible systems; the gap is the price of
+          decentralisation (experiment E15). *)
+  | Prefer_local
+      (** Among maximum matchings, minimise cross-group traffic using
+          the topology supplied at {!create}. *)
+  | Balance_load
+      (** Among maximum matchings, minimise the total historical load of
+          the chosen servers — a long-run forwarding-load balancer. *)
+
+type round_report = {
+  time : int;
+  new_demands : int;
+  active_requests : int;
+  served : int;
+  unserved : int;
+  served_from_cache : int;
+      (** Connections whose server holds the data only in its playback
+          cache — the "swarming" share; the rest is "sourcing" from the
+          static allocation. *)
+  rewired : int;
+      (** Served requests whose server differs from the previous
+          round's — each costs a connection set-up. *)
+  cross_group : int;
+      (** Served connections crossing topology groups (0 when no
+          topology was supplied). *)
+  busy_boxes : int;
+}
+
+exception Defeated of round_report
+
+type t
+
+val create :
+  params:Params.t ->
+  fleet:Box.t array ->
+  alloc:Allocation.t ->
+  ?compensation:Vod_analysis.Theorem2.compensation ->
+  ?policy:failure_policy ->
+  ?preloading:bool ->
+  ?scheduler:scheduler ->
+  ?topology:Topology.t ->
+  unit ->
+  t
+(** [preloading] (default true) enables the paper's preloading strategy
+    (staggered requests + per-video stripe counter); disabling it makes
+    every box request all [c] stripes at once — the naive strategy the
+    paper's Lemma 2 analysis rules out, kept as an ablation.
+    A [topology] enables cross-group traffic accounting and the
+    [Prefer_local] scheduler.
+    @raise Invalid_argument when fleet size, allocation, topology and
+    params disagree, or [Prefer_local] is chosen without a topology. *)
+
+val params : t -> Params.t
+val fleet : t -> Box.t array
+val alloc : t -> Allocation.t
+val now : t -> int
+
+val is_idle : t -> int -> bool
+(** True when the box has no video in progress and may accept a demand. *)
+
+val idle_boxes : t -> int list
+
+val swarm_size : t -> int -> int
+(** Boxes that entered the swarm of a video within the last [T] rounds. *)
+
+val active_request_count : t -> int
+val upload_slots_of_box : t -> int -> int
+(** Matching capacity after relay reservations. *)
+
+val is_online : t -> int -> bool
+
+val cancel : t -> int -> unit
+(** The user stops watching: the box's in-flight and scheduled requests
+    are dropped and it becomes idle; what it already cached keeps
+    serving the swarm within the window.
+    @raise Invalid_argument on out-of-range box. *)
+
+val set_online : t -> int -> bool -> unit
+(** Churn injection.  Taking a box offline drops its in-flight and
+    scheduled requests (the viewer is gone), removes its upload slots
+    and replicas from the matching, and hides its cache; bringing it
+    back restores its static replicas and upload.
+    @raise Invalid_argument on out-of-range box. *)
+
+val last_loads : t -> int array
+(** Upload slots used per box in the most recent round's matching. *)
+
+val cumulative_loads : t -> int array
+(** Total stripe-rounds served by each box since creation — the
+    forwarding-load balance the paper's introduction worries about,
+    measurable with {!Vod_util.Stats.jain_fairness}. *)
+
+val startup_delays : t -> int array
+(** Realised start-up delay of every demand whose [c] stripes have all
+    begun streaming, in rounds since its first request.  Under the
+    homogeneous preloading strategy with no stalls this is 1 (preload
+    at [t], postponed at [t+1]); the paper's constant "3 round"
+    start-up counts two more protocol rounds on top.  Relayed demands
+    take 3 (the doubled time scale).  Stalls lengthen it. *)
+
+val demand : t -> box:int -> video:int -> unit
+(** Register that the user of [box] demands [video] in the interval
+    before the next {!step}.  A poor box with a relay in the supplied
+    compensation follows the Theorem 2 request strategy; otherwise the
+    box issues plain requests (as in the paper's negative-result
+    scenario, where boxes below the threshold have no relays).
+    @raise Invalid_argument when the box is busy or the video is out of
+    range. *)
+
+val step : t -> round_report
+(** Advance one round: activate scheduled requests, expire finished
+    ones, run the connection matching, progress the served requests.
+    @raise Defeated (with the report) under [Fail_fast] when some
+    request cannot be served. *)
+
+val last_violator : t -> Vod_graph.Bipartite.violator option
+(** Hall certificate of the most recent failed round, if any. *)
+
+val video_request_stats : t -> (int * int * int * int) list
+(** For each video with active requests, [(video, i, i1, servers)]:
+    the request count, the number of distinct stripes requested, and
+    the number of online boxes possessing data some request needs —
+    the quantities of Lemma 2, measurable on a live trace. *)
+
+val run :
+  t -> rounds:int -> demands_for:(t -> int -> (int * int) list) -> round_report list
+(** [run t ~rounds ~demands_for] drives [rounds] steps; before each it
+    feeds the demands returned by [demands_for t time] (pairs of
+    [box, video]; demands on busy boxes are skipped silently so that
+    stateless generators stay simple).  Reports are in round order. *)

@@ -1,0 +1,38 @@
+open Vod_util
+
+type t = { rows : Engine.round_report Vec.t }
+
+let create () = { rows = Vec.create () }
+let record t report = Vec.push t.rows report
+let length t = Vec.length t.rows
+let reports t = Vec.to_list t.rows
+
+let run t engine ~rounds ~demands_for =
+  let reports = Engine.run engine ~rounds ~demands_for in
+  List.iter (record t) reports
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "time,new_demands,active_requests,served,unserved,served_from_cache,rewired,cross_group,busy_boxes\n";
+  Vec.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%d,%d,%d,%d,%d,%d\n" r.Engine.time r.Engine.new_demands
+           r.Engine.active_requests r.Engine.served r.Engine.unserved
+           r.Engine.served_from_cache r.Engine.rewired r.Engine.cross_group
+           r.Engine.busy_boxes))
+    t.rows;
+  Buffer.contents buf
+
+let save_csv t ~path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv t))
+
+let failure_rounds t =
+  Vec.fold_left
+    (fun acc r -> if r.Engine.unserved > 0 then r.Engine.time :: acc else acc)
+    [] t.rows
+  |> List.rev
+
+let summarise t = Metrics.summarise (reports t)

@@ -1,0 +1,27 @@
+(** Structured per-round trace recording and CSV export, for offline
+    analysis of simulation runs (plotting swarm dynamics, locating the
+    first failure, correlating load with arrivals). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> Engine.round_report -> unit
+(** Append one round's report. *)
+
+val length : t -> int
+val reports : t -> Engine.round_report list
+
+val run : t -> Engine.t -> rounds:int -> demands_for:(Engine.t -> int -> (int * int) list) -> unit
+(** Drive the engine while recording every report into the trace. *)
+
+val to_csv : t -> string
+(** Header line then one line per round:
+    [time,new_demands,active_requests,served,unserved,served_from_cache,rewired,cross_group,busy_boxes]. *)
+
+val save_csv : t -> path:string -> unit
+
+val failure_rounds : t -> int list
+(** Times of rounds with unserved requests. *)
+
+val summarise : t -> Metrics.t

@@ -1,0 +1,1 @@
+lib/swarm/piece_swarm.ml: Array Bitset List Sample Vec Vod_graph Vod_util

@@ -1,0 +1,1 @@
+lib/swarm/piece_swarm.mli: Vod_util

@@ -1,0 +1,70 @@
+(** A single-video piece-swarming simulator — the BitTorrent-style
+    baseline of the paper's introduction.
+
+    The paper motivates stripes by observing that file-swarming
+    protocols download pieces in an order (rarest-first, random) that
+    is great for throughput but terrible for streaming: "the file is
+    downloaded in random order, incurring a very long start-up delay"
+    (citing Parvez et al.).  This module reproduces that comparison:
+    one video of [pieces] pieces distributed from [seeds] initial
+    seeds to viewers arriving over time, with the per-round upload
+    budget of each box identical to the main model ([slots] pieces per
+    round), under three piece-selection policies.
+
+    Start-up delay is computed exactly: the earliest round a viewer
+    could have begun playback at [rate] pieces per round without ever
+    stalling, given when each piece actually arrived. *)
+
+type policy =
+  | In_order  (** Streaming order: lowest-index missing pieces first. *)
+  | Rarest_first  (** BitTorrent: globally rarest missing pieces first. *)
+  | Random_order  (** Uniform random missing pieces. *)
+
+type config = {
+  n : int;  (** Boxes (seeds + potential viewers). *)
+  pieces : int;  (** Pieces in the video. *)
+  seeds : int;  (** Boxes 0..seeds-1 start holding everything. *)
+  slots : int;  (** Upload capacity: pieces served per box per round. *)
+  want : int;  (** Parallel piece downloads per viewer per round (the
+                   stream rate: a viewer needs [want] pieces per round
+                   to play in real time). *)
+  policy : policy;
+}
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument on non-positive sizes, [seeds >= n], or
+    [seeds < 1]. *)
+
+val join : t -> int -> unit
+(** Box starts downloading (a viewer arrival).
+    @raise Invalid_argument if it is a seed, already joined, or out of
+    range. *)
+
+val step : Vod_util.Prng.t -> t -> int
+(** Advance one round of piece exchange (pieces transferred).  The
+    matching of wanted pieces to holders' upload slots is computed by
+    max flow, exactly as the main engine does. *)
+
+val complete : t -> int -> bool
+(** Viewer holds every piece. *)
+
+val all_complete : t -> bool
+(** All joined viewers are complete. *)
+
+val piece_count : t -> int -> int
+(** Pieces currently held by a box. *)
+
+val completion_round : t -> box:int -> piece:int -> int option
+(** Round at which the viewer received the piece ([None] if missing;
+    0 for seeds). *)
+
+val startup_delay : t -> box:int -> rate:int -> int option
+(** Earliest start round for stall-free playback at [rate] pieces per
+    round, relative to the viewer's join round:
+    [max over j of (arrival(piece j) - join - j/rate)] (at least 0).
+    [None] until the viewer is complete. *)
+
+val finish_time : t -> box:int -> int option
+(** Rounds from join until the last piece arrived. *)

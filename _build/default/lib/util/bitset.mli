@@ -1,0 +1,27 @@
+(** Fixed-capacity bitset over [0..capacity-1], packed into an int array.
+    Used for possession sets and visited marks in graph traversals. *)
+
+type t
+
+val create : int -> t
+(** All bits clear.  @raise Invalid_argument on negative capacity. *)
+
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+
+val cardinal : t -> int
+(** Population count, O(capacity/63). *)
+
+val clear : t -> unit
+val iter : (int -> unit) -> t -> unit
+val to_list : t -> int list
+val copy : t -> t
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] sets [dst := dst ∪ src].
+    @raise Invalid_argument on capacity mismatch. *)
+
+val inter_cardinal : t -> t -> int
+(** Size of the intersection, without materialising it. *)

@@ -1,0 +1,20 @@
+(** Binary min-heap with a caller-supplied ordering. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val add : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val of_array : cmp:('a -> 'a -> int) -> 'a array -> 'a t
+(** Bottom-up heapify, O(n). *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains the heap. *)

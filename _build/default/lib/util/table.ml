@@ -1,0 +1,53 @@
+type align = Left | Right
+
+type t = { headers : string list; aligns : align list; rows : string list Vec.t }
+
+let create ~columns =
+  { headers = List.map fst columns; aligns = List.map snd columns; rows = Vec.create () }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: row width mismatch";
+  Vec.push t.rows row
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let widths =
+    List.mapi
+      (fun i h ->
+        Vec.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) t.rows)
+      t.headers
+  in
+  let buf = Buffer.create 256 in
+  let render_row cells =
+    let padded =
+      List.mapi
+        (fun i cell -> pad (List.nth t.aligns i) (List.nth widths i) cell)
+        cells
+    in
+    Buffer.add_string buf ("| " ^ String.concat " | " padded ^ " |\n")
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+\n"
+  in
+  Buffer.add_string buf rule;
+  render_row t.headers;
+  Buffer.add_string buf rule;
+  Vec.iter render_row t.rows;
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let print ?title t =
+  (match title with Some s -> Printf.printf "\n%s\n" s | None -> ());
+  print_string (render t)
+
+let fmt_float ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
+let fmt_pct x = Printf.sprintf "%.1f%%" (100.0 *. x)

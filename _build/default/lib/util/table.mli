@@ -1,0 +1,19 @@
+(** ASCII table rendering for the benchmark harness.  Columns are sized
+    to their widest cell; numeric cells are right-aligned. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val render : t -> string
+val print : ?title:string -> t -> unit
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point rendering, default 3 decimals. *)
+
+val fmt_pct : float -> string
+(** [fmt_pct 0.421] is ["42.1%"]. *)

@@ -1,0 +1,62 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let check_bound t i name =
+  if i < 0 || i >= t.len then invalid_arg (name ^ ": index out of bounds")
+
+let get t i =
+  check_bound t i "Vec.get";
+  t.data.(i)
+
+let set t i x =
+  check_bound t i "Vec.set";
+  t.data.(i) <- x
+
+let grow t x =
+  let cap = Array.length t.data in
+  let cap' = if cap = 0 then 8 else 2 * cap in
+  let data' = Array.make cap' x in
+  Array.blit t.data 0 data' 0 t.len;
+  t.data <- data'
+
+let push t x =
+  if t.len = Array.length t.data then grow t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Vec.pop: empty";
+  t.len <- t.len - 1;
+  t.data.(t.len)
+
+let clear t = t.len <- 0
+let to_array t = Array.sub t.data 0 t.len
+
+let of_array a = { data = Array.copy a; len = Array.length a }
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec loop i = i < t.len && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_list t = List.init t.len (fun i -> t.data.(i))

@@ -1,0 +1,1 @@
+lib/workload/generators.ml: Array Float List Prng Sample Vod_model Vod_sim Vod_util

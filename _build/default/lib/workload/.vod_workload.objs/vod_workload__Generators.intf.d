@@ -1,0 +1,1 @@
+lib/workload/generators.mli: Vod_sim Vod_util

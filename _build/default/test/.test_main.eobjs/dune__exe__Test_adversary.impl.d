@@ -1,0 +1,1 @@
+test/test_adversary.ml: Alcotest Allocation Attacks Box Catalog Catalog_search Int List Params Prng Probe Set Vod_adversary Vod_alloc Vod_graph Vod_model Vod_sim Vod_util

@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Allocation Array Balance Box Catalog Gen List Printf Prng QCheck QCheck_alcotest Schemes Test Vod_alloc Vod_model Vod_util

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Box List Obstruction_bound Printf Theorem1 Theorem2 Vod_analysis Vod_model

@@ -1,0 +1,1 @@
+test/test_directory.ml: Alcotest Array List Printf Prng Vod_alloc Vod_directory Vod_model Vod_util

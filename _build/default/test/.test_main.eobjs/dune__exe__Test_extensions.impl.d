@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Allocation Array Box Catalog Codec Filename Fun List Params Printf Prng Result Sys Vod_alloc Vod_analysis Vod_graph Vod_model Vod_sim Vod_util Vod_workload

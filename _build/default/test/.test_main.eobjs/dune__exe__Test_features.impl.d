@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Allocation Array Box Catalog Char List Option Params Parity Printf Prng Result String Striping Vod_alloc Vod_analysis Vod_model Vod_sim Vod_util Vod_workload

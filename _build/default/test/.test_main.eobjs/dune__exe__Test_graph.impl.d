@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bipartite Bitset Dinic Expander Flow_network Gen Hopcroft_karp Int List Printf Prng Push_relabel QCheck QCheck_alcotest Set Test Vec Vod_graph Vod_util

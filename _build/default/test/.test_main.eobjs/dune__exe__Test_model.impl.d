@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Allocation Array Box Catalog Float List Params Topology Vod_model Vod_util

@@ -1,0 +1,1 @@
+test/test_model_based.ml: Alcotest Array Box Catalog Params Printf Prng Vod_alloc Vod_model Vod_sim Vod_util

@@ -1,0 +1,1 @@
+test/test_proofs.ml: Alcotest Box Catalog List Params Printf Prng Vod_adversary Vod_alloc Vod_analysis Vod_model Vod_sim Vod_util Vod_workload

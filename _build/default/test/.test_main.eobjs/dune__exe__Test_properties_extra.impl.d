@@ -1,0 +1,1 @@
+test/test_properties_extra.ml: Allocation Array Box Catalog Codec Fun Gen List Parity Printf Prng QCheck QCheck_alcotest Striping Test Vod_alloc Vod_directory Vod_model Vod_util

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Allocation Array Box Catalog Fun List Params Printf Prng Vod_alloc Vod_model Vod_proto Vod_sim Vod_util Vod_workload

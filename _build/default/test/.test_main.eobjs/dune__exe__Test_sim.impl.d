@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Allocation Array Box Catalog Fun List Params Prng Vod_alloc Vod_analysis Vod_graph Vod_model Vod_sim Vod_util Vod_workload

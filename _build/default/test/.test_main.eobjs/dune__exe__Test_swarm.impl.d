@@ -1,0 +1,1 @@
+test/test_swarm.ml: Alcotest List Printf Prng Vod_swarm Vod_util

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Filename Fun List Result Sys Vod

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Float Fun Gen Hashtbl Heap Int List Printf Prng QCheck QCheck_alcotest Sample Set Stats String Table Test Vec Vod_util

@@ -1,0 +1,239 @@
+(* Tests for vod_adversary: static probes, engine-driven attacks and the
+   empirical catalog search.  These are the end-to-end checks of the
+   paper's threshold claims on small systems. *)
+
+open Vod_util
+open Vod_model
+open Vod_adversary
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let homogeneous_system ~seed ~n ~u ~d ~c ~k ~m =
+  let fleet = Box.Fleet.homogeneous ~n ~u ~d in
+  let catalog = Catalog.create ~m ~c in
+  let g = Prng.create ~seed () in
+  let alloc = Vod_alloc.Schemes.random_permutation g ~fleet ~catalog ~k in
+  (fleet, alloc)
+
+(* ------------------------------------------------------------------ *)
+(* Probe                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_check_feasible_simple () =
+  (* u=2 (4 slots at c=2), generous replication: any single demand is
+     servable *)
+  let fleet, alloc = homogeneous_system ~seed:1 ~n:8 ~u:2.0 ~d:4.0 ~c:2 ~k:4 ~m:8 in
+  checkb "single demand feasible" true
+    (Probe.check ~fleet ~alloc ~c:2 ~demands:[ (0, 0) ] = Probe.Feasible)
+
+let test_check_duplicate_box_rejected () =
+  let fleet, alloc = homogeneous_system ~seed:1 ~n:4 ~u:2.0 ~d:4.0 ~c:2 ~k:2 ~m:4 in
+  Alcotest.check_raises "dup box" (Invalid_argument "Probe.check: duplicate box")
+    (fun () -> ignore (Probe.check ~fleet ~alloc ~c:2 ~demands:[ (0, 0); (0, 1) ]))
+
+let test_negative_result_below_threshold () =
+  (* u = 0.5 < 1 with a catalog bigger than d*c: the uncovered-video
+     adversary defeats ANY k=1 random allocation (Section 1.3) *)
+  let n = 16 and c = 2 and d = 2.0 in
+  (* catalog larger than d*c = 4 videos per box coverage: m = 16 with
+     k=1 leaves every box missing most videos *)
+  let fleet, alloc = homogeneous_system ~seed:3 ~n ~u:0.5 ~d ~c ~k:1 ~m:16 in
+  let demands = Probe.uncovered_demands ~fleet ~alloc in
+  checki "all boxes attack" n (List.length demands);
+  (* every demand really is uncovered *)
+  List.iter
+    (fun (b, v) ->
+      checkb "box stores nothing of the video" false
+        (Allocation.stores_video alloc ~box:b ~video:v))
+    demands;
+  match Probe.check ~fleet ~alloc ~c ~demands with
+  | Probe.Feasible -> Alcotest.fail "below-threshold system must be defeated"
+  | Probe.Infeasible v ->
+      checkb "certificate valid" true
+        (v.Vod_graph.Bipartite.server_slots < List.length v.Vod_graph.Bipartite.requests)
+
+let test_above_threshold_survives () =
+  (* u = 2 > 1 with solid replication: the same adversarial battery
+     fails to defeat the allocation (Theorem 1's regime) *)
+  let n = 24 and c = 2 and k = 4 in
+  let fleet = Box.Fleet.homogeneous ~n ~u:2.0 ~d:4.0 in
+  let m = Vod_alloc.Schemes.max_catalog ~fleet ~c ~k in
+  let catalog = Catalog.create ~m ~c in
+  let g = Prng.create ~seed:5 () in
+  let alloc = Vod_alloc.Schemes.random_permutation g ~fleet ~catalog ~k in
+  checkb "battery survived" true
+    (Probe.survives_battery g ~fleet ~alloc ~c ~trials:10)
+
+let test_full_replication_survives_below_threshold () =
+  (* the Push-to-Peer baseline with a CONSTANT catalog (m <= d*c) keeps
+     working below the threshold: each box holds a chunk of every
+     video, so aggregated upload u*n >= demand... here u = 1 exactly *)
+  let n = 12 and c = 3 in
+  let fleet = Box.Fleet.homogeneous ~n ~u:1.0 ~d:4.0 in
+  let catalog = Catalog.create ~m:8 ~c in
+  let alloc = Vod_alloc.Schemes.full_replication ~fleet ~catalog in
+  let g = Prng.create ~seed:7 () in
+  let demands = Probe.random_distinct_demands g ~fleet ~alloc in
+  checkb "constant catalog works at u=1" true
+    (Probe.check ~fleet ~alloc ~c ~demands = Probe.Feasible)
+
+let test_greedy_worst_is_distinct () =
+  let fleet, alloc = homogeneous_system ~seed:9 ~n:12 ~u:1.5 ~d:4.0 ~c:2 ~k:2 ~m:12 in
+  let demands = Probe.greedy_worst_demands ~fleet ~alloc ~c:2 in
+  let videos = List.map snd demands and boxes = List.map fst demands in
+  let module S = Set.Make (Int) in
+  checki "videos distinct" (List.length demands) (S.cardinal (S.of_list videos));
+  checki "boxes distinct" (List.length demands) (S.cardinal (S.of_list boxes))
+
+let test_greedy_worst_stresses_more_than_random () =
+  (* on a fragile allocation (k=1, u barely above 1) the greedy probe
+     should fail at least as often as random probes *)
+  let failures probe_fn ~seeds =
+    List.fold_left
+      (fun acc seed ->
+        let fleet, alloc = homogeneous_system ~seed ~n:16 ~u:1.0 ~d:2.0 ~c:2 ~k:1 ~m:16 in
+        let demands = probe_fn seed ~fleet ~alloc in
+        match Probe.check ~fleet ~alloc ~c:2 ~demands with
+        | Probe.Feasible -> acc
+        | Probe.Infeasible _ -> acc + 1)
+      0 seeds
+  in
+  let seeds = List.init 10 (fun i -> 100 + i) in
+  let greedy = failures (fun _ ~fleet ~alloc -> Probe.greedy_worst_demands ~fleet ~alloc ~c:2) ~seeds in
+  let random =
+    failures
+      (fun seed ~fleet ~alloc ->
+        Probe.random_distinct_demands (Prng.create ~seed ()) ~fleet ~alloc)
+      ~seeds
+  in
+  checkb "greedy at least as damaging" true (greedy >= random)
+
+let test_random_distinct_demands_shape () =
+  let fleet, alloc = homogeneous_system ~seed:2 ~n:10 ~u:2.0 ~d:2.0 ~c:2 ~k:2 ~m:5 in
+  let g = Prng.create ~seed:1 () in
+  let demands = Probe.random_distinct_demands g ~fleet ~alloc in
+  (* min n m = 5 pairs *)
+  checki "pair count" 5 (List.length demands);
+  let module S = Set.Make (Int) in
+  checki "distinct videos" 5 (S.cardinal (S.of_list (List.map snd demands)))
+
+(* ------------------------------------------------------------------ *)
+(* Engine-driven attacks                                               *)
+(* ------------------------------------------------------------------ *)
+
+let engine_of ~seed ~n ~u ~d ~c ~k ~m ~mu ~duration =
+  let fleet, alloc = homogeneous_system ~seed ~n ~u ~d ~c ~k ~m in
+  let params = Params.make ~n ~c ~mu ~duration in
+  Vod_sim.Engine.create ~params ~fleet ~alloc ~policy:Vod_sim.Engine.Continue ()
+
+let test_uncovered_attack_defeats_below_threshold () =
+  let sim = engine_of ~seed:3 ~n:16 ~u:0.5 ~d:2.0 ~c:2 ~k:1 ~m:16 ~mu:4.0 ~duration:8 in
+  let reports = Vod_sim.Engine.run sim ~rounds:6 ~demands_for:Attacks.uncovered in
+  let m = Vod_sim.Metrics.summarise reports in
+  checkb "attack causes unserved requests" true (m.Vod_sim.Metrics.total_unserved > 0)
+
+let test_uncovered_attack_fails_above_threshold () =
+  let sim = engine_of ~seed:5 ~n:16 ~u:2.0 ~d:4.0 ~c:2 ~k:4 ~m:8 ~mu:4.0 ~duration:8 in
+  let reports = Vod_sim.Engine.run sim ~rounds:12 ~demands_for:Attacks.uncovered in
+  let m = Vod_sim.Metrics.summarise reports in
+  checkb "demands flowed" true (m.Vod_sim.Metrics.total_demands > 0);
+  checki "system holds" 0 m.Vod_sim.Metrics.total_unserved
+
+let test_tight_server_set_attack_runs () =
+  let sim = engine_of ~seed:7 ~n:16 ~u:2.0 ~d:4.0 ~c:2 ~k:3 ~m:12 ~mu:4.0 ~duration:8 in
+  let g = Prng.create ~seed:8 () in
+  let reports = Vod_sim.Engine.run sim ~rounds:10 ~demands_for:(Attacks.tight_server_set g) in
+  let m = Vod_sim.Metrics.summarise reports in
+  checkb "attack produced demands" true (m.Vod_sim.Metrics.total_demands > 0);
+  checki "k=3 resists the load attack" 0 m.Vod_sim.Metrics.total_unserved
+
+let test_stampede_violating_mu_hurts () =
+  (* the same system that resists mu-bounded flash crowds can be hurt
+     by an unbounded stampede onto one video with scarce replicas *)
+  let sim = engine_of ~seed:9 ~n:24 ~u:1.0 ~d:2.0 ~c:2 ~k:1 ~m:24 ~mu:1.2 ~duration:12 in
+  let reports = Vod_sim.Engine.run sim ~rounds:4 ~demands_for:(Attacks.stampede ~video:0) in
+  let m = Vod_sim.Metrics.summarise reports in
+  checkb "stampede overwhelms the sources" true (m.Vod_sim.Metrics.total_unserved > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Catalog search                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let search_cfg ~n ~u ~k =
+  {
+    Catalog_search.fleet = Box.Fleet.homogeneous ~n ~u ~d:4.0;
+    c = 2;
+    k;
+    trials = 5;
+    allocations = 2;
+  }
+
+let test_feasible_at_monotone () =
+  (* feasibility is monotone in m for a fixed configuration (larger
+     catalogs are strictly harder), modulo randomness; check endpoints *)
+  let g = Prng.create ~seed:11 () in
+  let cfg = search_cfg ~n:16 ~u:2.0 ~k:4 in
+  checkb "m=1 feasible" true (Catalog_search.feasible_at g cfg ~m:1);
+  let upper = Vod_alloc.Schemes.max_catalog ~fleet:cfg.Catalog_search.fleet ~c:2 ~k:4 in
+  checkb "upper bound positive" true (upper > 0)
+
+let test_max_catalog_above_threshold_is_large () =
+  let g = Prng.create ~seed:13 () in
+  let cfg = search_cfg ~n:16 ~u:2.0 ~k:4 in
+  let m = Catalog_search.max_catalog g cfg in
+  (* storage bound is 16*4*2/(4*2) = 16; a healthy system reaches a
+     catalog comparable to n *)
+  checkb "substantial catalog" true (m >= 8)
+
+let test_max_catalog_scales_with_n () =
+  let g = Prng.create ~seed:17 () in
+  let m16 = Catalog_search.max_catalog (Prng.split g) (search_cfg ~n:16 ~u:2.0 ~k:4) in
+  let m32 = Catalog_search.max_catalog (Prng.split g) (search_cfg ~n:32 ~u:2.0 ~k:4) in
+  (* Theorem 1: catalog grows linearly in n *)
+  checkb "catalog grows with n" true (m32 >= (3 * m16) / 2)
+
+let test_max_catalog_zero_when_hopeless () =
+  (* u = 0.5, m forced >= 1 but even a single demand can fail when the
+     requester owns no slot and holders have zero slots at c=1:
+     floor(0.5 * 1) = 0 upload slots everywhere *)
+  let g = Prng.create ~seed:19 () in
+  let cfg =
+    {
+      Catalog_search.fleet = Box.Fleet.homogeneous ~n:8 ~u:0.5 ~d:2.0;
+      c = 1;
+      k = 1;
+      trials = 4;
+      allocations = 2;
+    }
+  in
+  checki "no feasible catalog" 0 (Catalog_search.max_catalog g cfg)
+
+let suites =
+  [
+    ( "adversary.probe",
+      [
+        Alcotest.test_case "feasible simple" `Quick test_check_feasible_simple;
+        Alcotest.test_case "duplicate box" `Quick test_check_duplicate_box_rejected;
+        Alcotest.test_case "negative result below threshold" `Quick test_negative_result_below_threshold;
+        Alcotest.test_case "above threshold survives" `Quick test_above_threshold_survives;
+        Alcotest.test_case "full replication below threshold" `Quick test_full_replication_survives_below_threshold;
+        Alcotest.test_case "greedy demands distinct" `Quick test_greedy_worst_is_distinct;
+        Alcotest.test_case "greedy stresses more" `Quick test_greedy_worst_stresses_more_than_random;
+        Alcotest.test_case "random demands shape" `Quick test_random_distinct_demands_shape;
+      ] );
+    ( "adversary.attacks",
+      [
+        Alcotest.test_case "uncovered defeats u<1" `Quick test_uncovered_attack_defeats_below_threshold;
+        Alcotest.test_case "uncovered fails vs u>1" `Quick test_uncovered_attack_fails_above_threshold;
+        Alcotest.test_case "tight server set" `Quick test_tight_server_set_attack_runs;
+        Alcotest.test_case "stampede violating mu" `Quick test_stampede_violating_mu_hurts;
+      ] );
+    ( "adversary.catalog_search",
+      [
+        Alcotest.test_case "feasible_at endpoints" `Quick test_feasible_at_monotone;
+        Alcotest.test_case "large catalog above threshold" `Quick test_max_catalog_above_threshold_is_large;
+        Alcotest.test_case "catalog scales with n" `Quick test_max_catalog_scales_with_n;
+        Alcotest.test_case "zero when hopeless" `Quick test_max_catalog_zero_when_hopeless;
+      ] );
+  ]

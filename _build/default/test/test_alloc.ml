@@ -1,0 +1,244 @@
+(* Tests for vod_alloc: the four allocation schemes and the balance
+   statistics. *)
+
+open Vod_util
+open Vod_model
+open Vod_alloc
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+let fleet n d = Box.Fleet.homogeneous ~n ~u:1.5 ~d
+
+let test_max_catalog () =
+  let f = fleet 10 4.0 in
+  (* 10 boxes x 4 videos x c=4 slots = 160 slots; k=2: m = 160/(2*4) = 20 *)
+  checki "max catalog" 20 (Schemes.max_catalog ~fleet:f ~c:4 ~k:2);
+  checki "k=1" 40 (Schemes.max_catalog ~fleet:f ~c:4 ~k:1)
+
+(* Shared invariants for any scheme result. *)
+let check_alloc_invariants ~name ~fleet:f ~c alloc =
+  Alcotest.(check (result unit string)) (name ^ ": validates") (Ok ())
+    (Allocation.validate alloc ~fleet:f ~c)
+
+let test_permutation_fills_exactly () =
+  let g = Prng.create ~seed:1 () in
+  let f = fleet 10 4.0 in
+  let catalog = Catalog.create ~m:20 ~c:4 in
+  let a = Schemes.random_permutation g ~fleet:f ~catalog ~k:2 in
+  check_alloc_invariants ~name:"perm" ~fleet:f ~c:4 a;
+  (* k*m*c = 160 replicas = all slots: every box is exactly full unless
+     dedup dropped colliding replicas *)
+  let total = ref 0 in
+  for b = 0 to 9 do
+    total := !total + Allocation.box_load a b;
+    checkb "box within capacity" true (Allocation.box_load a b <= 16)
+  done;
+  checkb "storage nearly full" true (!total >= 150);
+  (* replica spread: most stripes keep k=2 distinct holders *)
+  let mn, mx, mean = Balance.replica_spread a in
+  checkb "min >= 1" true (mn >= 1);
+  checkb "max <= k" true (mx <= 2);
+  checkb "mean close to k" true (mean > 1.85)
+
+let test_permutation_deterministic_per_seed () =
+  let f = fleet 8 2.0 in
+  let catalog = Catalog.create ~m:4 ~c:4 in
+  let a1 = Schemes.random_permutation (Prng.create ~seed:5 ()) ~fleet:f ~catalog ~k:2 in
+  let a2 = Schemes.random_permutation (Prng.create ~seed:5 ()) ~fleet:f ~catalog ~k:2 in
+  for s = 0 to Catalog.total_stripes catalog - 1 do
+    Alcotest.check (Alcotest.array Alcotest.int) "same layout"
+      (Allocation.boxes_of_stripe a1 s) (Allocation.boxes_of_stripe a2 s)
+  done
+
+let test_permutation_overflow_rejected () =
+  let g = Prng.create () in
+  let f = fleet 2 1.0 in
+  let catalog = Catalog.create ~m:10 ~c:4 in
+  Alcotest.check_raises "too big"
+    (Invalid_argument "Schemes.random_permutation: replicas exceed storage slots")
+    (fun () -> ignore (Schemes.random_permutation g ~fleet:f ~catalog ~k:2))
+
+let test_independent_respects_capacity () =
+  let g = Prng.create ~seed:2 () in
+  let f = fleet 10 4.0 in
+  let catalog = Catalog.create ~m:15 ~c:4 in
+  let a = Schemes.random_independent g ~fleet:f ~catalog ~k:2 in
+  check_alloc_invariants ~name:"indep" ~fleet:f ~c:4 a;
+  for s = 0 to Catalog.total_stripes catalog - 1 do
+    checki "k distinct replicas" 2 (Allocation.replica_count a s)
+  done
+
+let test_independent_weighted_by_storage () =
+  (* a box with 3x the storage should store about 3x the replicas *)
+  let g = Prng.create ~seed:3 () in
+  let f =
+    Array.append
+      (Array.init 5 (fun id -> Box.make ~id ~upload:1.5 ~storage:9.0))
+      (Array.init 15 (fun id -> Box.make ~id:(id + 5) ~upload:1.5 ~storage:3.0))
+  in
+  let catalog = Catalog.create ~m:40 ~c:4 in
+  let a = Schemes.random_independent g ~fleet:f ~catalog ~k:2 in
+  let big = ref 0 and small = ref 0 in
+  for b = 0 to 4 do
+    big := !big + Allocation.box_load a b
+  done;
+  for b = 5 to 19 do
+    small := !small + Allocation.box_load a b
+  done;
+  let ratio = float_of_int !big /. float_of_int (max 1 !small) in
+  (* the 5 big boxes hold as much storage as the 15 small ones *)
+  checkb "heavy boxes attract replicas" true (ratio > 0.7 && ratio < 1.4)
+
+let test_round_robin_spread () =
+  let f = fleet 10 4.0 in
+  let catalog = Catalog.create ~m:20 ~c:4 in
+  let a = Schemes.round_robin ~fleet:f ~catalog ~k:2 in
+  check_alloc_invariants ~name:"rr" ~fleet:f ~c:4 a;
+  for s = 0 to Catalog.total_stripes catalog - 1 do
+    checki "k replicas" 2 (Allocation.replica_count a s)
+  done;
+  (* perfect determinism *)
+  let b = Schemes.round_robin ~fleet:f ~catalog ~k:2 in
+  for s = 0 to Catalog.total_stripes catalog - 1 do
+    Alcotest.check (Alcotest.array Alcotest.int) "deterministic"
+      (Allocation.boxes_of_stripe a s) (Allocation.boxes_of_stripe b s)
+  done
+
+let test_full_replication_covers_everything () =
+  let f = fleet 8 4.0 in
+  (* m must fit in d*c = 16 slots *)
+  let catalog = Catalog.create ~m:10 ~c:4 in
+  let a = Schemes.full_replication ~fleet:f ~catalog in
+  check_alloc_invariants ~name:"full" ~fleet:f ~c:4 a;
+  for b = 0 to 7 do
+    Alcotest.check (Alcotest.list Alcotest.int)
+      (Printf.sprintf "box %d stores part of every video" b)
+      []
+      (Allocation.videos_not_stored a ~box:b)
+  done
+
+let test_full_replication_too_small_storage () =
+  let f = fleet 8 1.0 in
+  let catalog = Catalog.create ~m:10 ~c:4 in
+  Alcotest.check_raises "storage below m"
+    (Invalid_argument "Schemes.full_replication: box storage below catalog size")
+    (fun () -> ignore (Schemes.full_replication ~fleet:f ~catalog))
+
+let test_balance_permutation_tight () =
+  let g = Prng.create ~seed:4 () in
+  let f = fleet 20 4.0 in
+  let catalog = Catalog.create ~m:40 ~c:4 in
+  let a = Schemes.random_permutation g ~fleet:f ~catalog ~k:2 in
+  let b = Balance.measure a ~fleet:f ~c:4 in
+  checkb "no box over capacity" true (b.Balance.max_over_capacity <= 1.0 +. 1e-9);
+  checkb "high utilisation" true (b.Balance.utilisation > 0.95);
+  checkb "tight balance" true (b.Balance.coefficient_of_variation < 0.05)
+
+let test_balance_independent_looser_than_permutation () =
+  let g = Prng.create ~seed:5 () in
+  let f = fleet 50 4.0 in
+  let catalog = Catalog.create ~m:50 ~c:4 in
+  let perm = Schemes.random_permutation (Prng.copy g) ~fleet:f ~catalog ~k:2 in
+  let indep = Schemes.random_independent g ~fleet:f ~catalog ~k:2 in
+  let bp = Balance.measure perm ~fleet:f ~c:4 in
+  let bi = Balance.measure indep ~fleet:f ~c:4 in
+  (* the permutation at half occupancy still spreads evenly; the
+     independent one shows strictly more dispersion *)
+  checkb "independent cov >= permutation cov" true
+    (bi.Balance.coefficient_of_variation >= bp.Balance.coefficient_of_variation -. 1e-6)
+
+let test_empty_catalog_schemes () =
+  let g = Prng.create () in
+  let f = fleet 4 2.0 in
+  let catalog = Catalog.create ~m:0 ~c:4 in
+  let a = Schemes.random_permutation g ~fleet:f ~catalog ~k:1 in
+  checki "no stripes" 0 (Catalog.total_stripes (Allocation.catalog a));
+  let b = Schemes.full_replication ~fleet:f ~catalog in
+  checki "no stripes full" 0 (Catalog.total_stripes (Allocation.catalog b))
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_cases =
+  let open QCheck in
+  let arb =
+    make
+      Gen.(
+        let* seed = int_range 0 1_000_000 in
+        let* n = int_range 4 24 in
+        let* c = int_range 1 6 in
+        let* k = int_range 1 3 in
+        let* d = int_range 2 6 in
+        return (seed, n, c, k, d))
+  in
+  [
+    Test.make ~name:"permutation allocation always validates" ~count:100 arb
+      (fun (seed, n, c, k, d) ->
+        let g = Prng.create ~seed () in
+        let f = Box.Fleet.homogeneous ~n ~u:1.5 ~d:(float_of_int d) in
+        let m = Schemes.max_catalog ~fleet:f ~c ~k in
+        QCheck.assume (m >= 1);
+        let catalog = Catalog.create ~m ~c in
+        let a = Schemes.random_permutation g ~fleet:f ~catalog ~k in
+        Allocation.validate a ~fleet:f ~c = Ok ());
+    Test.make ~name:"independent allocation: k distinct replicas each" ~count:60 arb
+      (fun (seed, n, c, k, d) ->
+        let g = Prng.create ~seed () in
+        let f = Box.Fleet.homogeneous ~n ~u:1.5 ~d:(float_of_int d) in
+        let m = Schemes.max_catalog ~fleet:f ~c ~k / 2 in
+        QCheck.assume (m >= 1);
+        let catalog = Catalog.create ~m ~c in
+        let a = Schemes.random_independent g ~fleet:f ~catalog ~k in
+        Allocation.validate a ~fleet:f ~c = Ok ()
+        &&
+        let ok = ref true in
+        for s = 0 to Catalog.total_stripes catalog - 1 do
+          if Allocation.replica_count a s <> k then ok := false
+        done;
+        !ok);
+    Test.make ~name:"per-box loads sum to total replicas" ~count:100 arb
+      (fun (seed, n, c, k, d) ->
+        let g = Prng.create ~seed () in
+        let f = Box.Fleet.homogeneous ~n ~u:1.5 ~d:(float_of_int d) in
+        let m = Schemes.max_catalog ~fleet:f ~c ~k in
+        QCheck.assume (m >= 1);
+        let catalog = Catalog.create ~m ~c in
+        let a = Schemes.random_permutation g ~fleet:f ~catalog ~k in
+        let by_box = ref 0 and by_stripe = ref 0 in
+        for b = 0 to n - 1 do
+          by_box := !by_box + Allocation.box_load a b
+        done;
+        for s = 0 to Catalog.total_stripes catalog - 1 do
+          by_stripe := !by_stripe + Allocation.replica_count a s
+        done;
+        !by_box = !by_stripe);
+  ]
+
+let suites =
+  [
+    ( "alloc.schemes",
+      [
+        Alcotest.test_case "max_catalog" `Quick test_max_catalog;
+        Alcotest.test_case "permutation fills storage" `Quick test_permutation_fills_exactly;
+        Alcotest.test_case "permutation deterministic" `Quick test_permutation_deterministic_per_seed;
+        Alcotest.test_case "permutation overflow" `Quick test_permutation_overflow_rejected;
+        Alcotest.test_case "independent capacity" `Quick test_independent_respects_capacity;
+        Alcotest.test_case "independent storage weighting" `Quick test_independent_weighted_by_storage;
+        Alcotest.test_case "round robin" `Quick test_round_robin_spread;
+        Alcotest.test_case "full replication coverage" `Quick test_full_replication_covers_everything;
+        Alcotest.test_case "full replication storage check" `Quick test_full_replication_too_small_storage;
+        Alcotest.test_case "empty catalog" `Quick test_empty_catalog_schemes;
+      ] );
+    ( "alloc.balance",
+      [
+        Alcotest.test_case "permutation tight" `Quick test_balance_permutation_tight;
+        Alcotest.test_case "independent looser" `Quick test_balance_independent_looser_than_permutation;
+      ] );
+    ("alloc.properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
+  ]
+
+(* silence unused warnings for helpers used only in some branches *)
+let _ = checkf

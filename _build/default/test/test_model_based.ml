@@ -1,0 +1,117 @@
+(* Model-based property testing: drive the engine with random command
+   sequences (demand / step / churn / scheduler choice) and check global
+   invariants after every round.  This is the broadest net in the
+   suite — any violation of capacity, possession, busy-accounting or
+   metric consistency shows up here. *)
+
+open Vod_util
+open Vod_model
+module Engine = Vod_sim.Engine
+
+(* One random scenario: returns an error description on the first
+   violated invariant, None if the whole run is clean. *)
+let run_scenario ~seed ~steps =
+  let g = Prng.create ~seed () in
+  let n = 4 + Prng.int g 12 in
+  let c = 1 + Prng.int g 3 in
+  let k = 1 + Prng.int g 3 in
+  let u = 0.5 +. Prng.float g 2.0 in
+  let d = 2.0 +. Prng.float g 4.0 in
+  let duration = 4 + Prng.int g 8 in
+  let fleet = Box.Fleet.homogeneous ~n ~u ~d in
+  let m = Vod_alloc.Schemes.max_catalog ~fleet ~c ~k in
+  if m < 1 then None
+  else begin
+    let params = Params.make ~n ~c ~mu:2.0 ~duration in
+    let catalog = Catalog.create ~m ~c in
+    let alloc = Vod_alloc.Schemes.random_permutation g ~fleet ~catalog ~k in
+    let scheduler =
+      match Prng.int g 6 with
+      | 0 -> Engine.Arbitrary
+      | 1 -> Engine.Prefer_cache
+      | 2 -> Engine.Sticky
+      | 3 -> Engine.Balance_load
+      | 4 -> Engine.Prefer_local
+      | _ -> Engine.Greedy_proposals (1 + Prng.int g 3)
+    in
+    let topology =
+      Vod_model.Topology.uniform_groups ~n ~groups:(1 + Prng.int g (max 1 (n / 2)))
+    in
+    let sim =
+      Engine.create ~params ~fleet ~alloc ~policy:Engine.Continue ~scheduler ~topology ()
+    in
+    let error = ref None in
+    let fail msg = if !error = None then error := Some msg in
+    let served_total = ref 0 and progressed_total = ref 0 in
+    ignore progressed_total;
+    for step_no = 1 to steps do
+      if !error = None then begin
+        (* random commands before the round *)
+        let commands = Prng.int g 4 in
+        for _ = 1 to commands do
+          match Prng.int g 6 with
+          | 0 | 1 | 2 ->
+              let b = Prng.int g n in
+              if Engine.is_idle sim b then Engine.demand sim ~box:b ~video:(Prng.int g m)
+          | 3 ->
+              let b = Prng.int g n in
+              if Prng.int g 4 = 0 then Engine.set_online sim b false
+          | 4 ->
+              let b = Prng.int g n in
+              Engine.set_online sim b true
+          | _ -> ()
+        done;
+        let report = Engine.step sim in
+        served_total := !served_total + report.Engine.served;
+        (* invariant: report arithmetic *)
+        if report.Engine.served + report.Engine.unserved <> report.Engine.active_requests
+        then fail (Printf.sprintf "step %d: served+unserved <> active" step_no);
+        if report.Engine.served_from_cache > report.Engine.served then
+          fail (Printf.sprintf "step %d: cache share exceeds served" step_no);
+        if report.Engine.rewired > report.Engine.served then
+          fail (Printf.sprintf "step %d: rewired exceeds served" step_no);
+        (* invariant: per-box load within capacity, offline boxes idle *)
+        Array.iteri
+          (fun b load ->
+            if load > Engine.upload_slots_of_box sim b then
+              fail (Printf.sprintf "step %d: box %d over capacity" step_no b);
+            if (not (Engine.is_online sim b)) && load > 0 then
+              fail (Printf.sprintf "step %d: offline box %d serving" step_no b))
+          (Engine.last_loads sim);
+        (* invariant: total served connections this round equal the sum
+           of box loads *)
+        let loads = Array.fold_left ( + ) 0 (Engine.last_loads sim) in
+        if loads <> report.Engine.served then
+          fail (Printf.sprintf "step %d: loads %d <> served %d" step_no loads report.Engine.served);
+        (* invariant: swarm sizes never negative and bounded by n *)
+        for v = 0 to min (m - 1) 5 do
+          let s = Engine.swarm_size sim v in
+          if s < 0 || s > n then fail (Printf.sprintf "step %d: swarm size %d" step_no s)
+        done;
+        (* invariant: startup delays are non-negative (0 happens at
+           c = 1, where there are no postponed requests) and at least 1
+           when postponed requests exist *)
+        let floor_delay = if c >= 2 then 1 else 0 in
+        Array.iter
+          (fun dly ->
+            if dly < floor_delay then
+              fail (Printf.sprintf "step %d: startup %d < %d" step_no dly floor_delay))
+          (Engine.startup_delays sim)
+      end
+    done;
+    !error
+  end
+
+(* deterministic battery: a fixed seed range, so failures reproduce *)
+let test_battery () =
+  for seed = 0 to 119 do
+    match run_scenario ~seed ~steps:30 with
+    | None -> ()
+    | Some msg -> Alcotest.failf "seed %d: %s" seed msg
+  done
+
+let suites =
+  [
+    ( "sim.model_based",
+      [ Alcotest.test_case "random command sequences (120 seeds)" `Quick test_battery ] );
+  ]

@@ -1,0 +1,160 @@
+(* Tests for the piece-swarming baseline: completion, conservation,
+   and the start-up-delay contrast between in-order and random-order
+   piece selection that motivates the paper's stripe design. *)
+
+open Vod_util
+module Swarm = Vod_swarm.Piece_swarm
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let base_cfg =
+  {
+    Swarm.n = 12;
+    pieces = 40;
+    seeds = 1;
+    slots = 4;
+    want = 2;
+    policy = Swarm.In_order;
+  }
+
+let run_until_complete ?(max_rounds = 500) g sw =
+  let rounds = ref 0 in
+  while (not (Swarm.all_complete sw)) && !rounds < max_rounds do
+    ignore (Swarm.step g sw);
+    incr rounds
+  done;
+  !rounds
+
+let test_create_invalid () =
+  Alcotest.check_raises "seeds >= n" (Invalid_argument "Piece_swarm.create: seeds must be in [1, n)")
+    (fun () -> ignore (Swarm.create { base_cfg with Swarm.seeds = 12 }));
+  Alcotest.check_raises "no pieces" (Invalid_argument "Piece_swarm.create: need at least one piece")
+    (fun () -> ignore (Swarm.create { base_cfg with Swarm.pieces = 0 }))
+
+let test_seed_starts_complete () =
+  let sw = Swarm.create base_cfg in
+  checkb "seed complete" true (Swarm.complete sw 0);
+  checki "seed pieces" 40 (Swarm.piece_count sw 0);
+  checkb "seed piece arrival 0" true (Swarm.completion_round sw ~box:0 ~piece:7 = Some 0)
+
+let test_join_validation () =
+  let sw = Swarm.create base_cfg in
+  Alcotest.check_raises "seed joins" (Invalid_argument "Piece_swarm.join: box is a seed")
+    (fun () -> Swarm.join sw 0);
+  Swarm.join sw 3;
+  Alcotest.check_raises "double join" (Invalid_argument "Piece_swarm.join: already joined")
+    (fun () -> Swarm.join sw 3)
+
+let test_single_viewer_completes () =
+  let g = Prng.create ~seed:1 () in
+  let sw = Swarm.create base_cfg in
+  Swarm.join sw 5;
+  let rounds = run_until_complete g sw in
+  checkb "completed" true (Swarm.complete sw 5);
+  (* seed uploads 4/round, viewer wants 2/round: 40 pieces need >= 20
+     rounds (want-limited) *)
+  checkb (Printf.sprintf "took %d rounds" rounds) true (rounds >= 20 && rounds < 60);
+  match Swarm.finish_time sw ~box:5 with
+  | None -> Alcotest.fail "finish time"
+  | Some f -> checkb "finish consistent" true (f <= rounds)
+
+let test_piece_conservation () =
+  (* nobody ever receives a piece that no connected box held *)
+  let g = Prng.create ~seed:2 () in
+  let sw = Swarm.create { base_cfg with Swarm.policy = Swarm.Random_order } in
+  Swarm.join sw 2;
+  Swarm.join sw 3;
+  for _ = 1 to 30 do
+    ignore (Swarm.step g sw)
+  done;
+  (* arrival rounds are strictly positive and monotone with holding *)
+  for p = 0 to 39 do
+    match Swarm.completion_round sw ~box:2 ~piece:p with
+    | None -> ()
+    | Some r -> checkb "arrival after start" true (r >= 1)
+  done
+
+let test_swarm_scales_throughput () =
+  (* many viewers: later arrivals fetch from earlier ones, so total
+     completion time stays far below n * single-viewer time *)
+  let g = Prng.create ~seed:3 () in
+  let cfg = { base_cfg with Swarm.n = 16; policy = Swarm.Rarest_first } in
+  let sw = Swarm.create cfg in
+  for b = 1 to 15 do
+    Swarm.join sw b
+  done;
+  let rounds = run_until_complete g sw in
+  checkb "everyone done" true (Swarm.all_complete sw);
+  (* 15 viewers x 40 pieces = 600 transfers; aggregate upload grows as
+     viewers acquire pieces, so this finishes in well under 100 rounds *)
+  checkb (Printf.sprintf "swarming efficiency (%d rounds)" rounds) true (rounds < 100)
+
+let test_in_order_startup_beats_rarest () =
+  (* the motivating comparison: with in-order selection a viewer can
+     start playback almost immediately; rarest-first forces waiting *)
+  let startup policy =
+    let g = Prng.create ~seed:4 () in
+    let sw = Swarm.create { base_cfg with Swarm.n = 10; pieces = 60; policy } in
+    for b = 1 to 9 do
+      Swarm.join sw b
+    done;
+    let _ = run_until_complete g sw in
+    let delays =
+      List.filter_map
+        (fun b -> Swarm.startup_delay sw ~box:b ~rate:base_cfg.Swarm.want)
+        (List.init 9 (fun i -> i + 1))
+    in
+    let n = List.length delays in
+    checki "all measured" 9 n;
+    float_of_int (List.fold_left ( + ) 0 delays) /. float_of_int n
+  in
+  let in_order = startup Swarm.In_order in
+  let rarest = startup Swarm.Rarest_first in
+  let random = startup Swarm.Random_order in
+  checkb
+    (Printf.sprintf "in-order (%.1f) << rarest (%.1f)" in_order rarest)
+    true
+    (in_order < rarest /. 2.0);
+  checkb
+    (Printf.sprintf "in-order (%.1f) << random (%.1f)" in_order random)
+    true
+    (in_order < random /. 2.0)
+
+let test_startup_delay_exactness () =
+  (* single viewer, in-order, want=2, seed slots ample: pieces arrive
+     exactly 2 per round in order, so playback can start immediately *)
+  let g = Prng.create ~seed:5 () in
+  let sw =
+    Swarm.create
+      { Swarm.n = 2; pieces = 10; seeds = 1; slots = 10; want = 2; policy = Swarm.In_order }
+  in
+  Swarm.join sw 1;
+  let _ = run_until_complete g sw in
+  (match Swarm.startup_delay sw ~box:1 ~rate:2 with
+  | Some s -> checki "zero-stall start" 1 s
+  | None -> Alcotest.fail "incomplete");
+  match Swarm.finish_time sw ~box:1 with
+  | Some f -> checki "5 rounds for 10 pieces at 2/round" 5 f
+  | None -> Alcotest.fail "incomplete"
+
+let test_startup_delay_incomplete_none () =
+  let sw = Swarm.create base_cfg in
+  Swarm.join sw 4;
+  checkb "none before completion" true (Swarm.startup_delay sw ~box:4 ~rate:2 = None)
+
+let suites =
+  [
+    ( "swarm.piece",
+      [
+        Alcotest.test_case "create invalid" `Quick test_create_invalid;
+        Alcotest.test_case "seed complete" `Quick test_seed_starts_complete;
+        Alcotest.test_case "join validation" `Quick test_join_validation;
+        Alcotest.test_case "single viewer completes" `Quick test_single_viewer_completes;
+        Alcotest.test_case "piece conservation" `Quick test_piece_conservation;
+        Alcotest.test_case "swarming throughput" `Quick test_swarm_scales_throughput;
+        Alcotest.test_case "in-order startup advantage" `Quick test_in_order_startup_beats_rarest;
+        Alcotest.test_case "startup exactness" `Quick test_startup_delay_exactness;
+        Alcotest.test_case "incomplete gives none" `Quick test_startup_delay_incomplete_none;
+      ] );
+  ]
