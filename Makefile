@@ -1,0 +1,25 @@
+.PHONY: all build test check fuzz bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Short-budget differential fuzz pass (separate from `dune runtest`):
+# 200 random bipartite instances x 4 max-matching solvers plus 6
+# simulated scenarios x 3 schedulers, every engine failure round
+# certified by an independent Hall-violator check.  Fixed seed, so the
+# pass is deterministic and CI-friendly.
+check: build
+	dune build @fuzz
+
+fuzz: check
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -471,6 +471,92 @@ let plan_cmd =
     Term.(ret (const run $ n_arg $ u_arg $ d_arg $ mu_arg))
 
 (* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let run seed instances scenarios rounds repro_dir replay =
+    match replay with
+    | Some path -> (
+        match Vod.Check.Fuzz.replay ~path with
+        | Ok matched ->
+            Printf.printf "repro %s: all four solvers agree (matched = %d); bug no \
+                           longer reproduces\n"
+              path matched;
+            `Ok ()
+        | Error detail -> `Error (false, Printf.sprintf "repro %s: %s" path detail))
+    | None when instances < 0 || scenarios < 0 || rounds < 1 ->
+        `Error (false, "check: --instances and --scenarios must be >= 0, --rounds >= 1")
+    | None ->
+        let summary =
+          Vod.Check.Fuzz.run ~seed ~instances ~scenarios ~rounds ?repro_dir ()
+        in
+        Printf.printf
+          "differential check (seed %d): %d bipartite instances x 4 solvers, %d \
+           scenarios x 3 schedulers\n"
+          seed summary.Vod.Check.Fuzz.instances_checked
+          summary.Vod.Check.Fuzz.scenarios_checked;
+        Printf.printf
+          "engine failure rounds with independently confirmed Hall certificates: %d\n"
+          summary.Vod.Check.Fuzz.failure_rounds_certified;
+        (match summary.Vod.Check.Fuzz.failures with
+        | [] ->
+            print_endline "verdict: all oracles agree";
+            `Ok ()
+        | failures ->
+            List.iter
+              (fun f ->
+                Printf.printf "FAILURE [%s] seed=%d index=%d: %s%s\n"
+                  f.Vod.Check.Fuzz.kind f.Vod.Check.Fuzz.seed f.Vod.Check.Fuzz.index
+                  f.Vod.Check.Fuzz.detail
+                  (match f.Vod.Check.Fuzz.repro_path with
+                  | Some p -> Printf.sprintf " (minimised repro: %s)" p
+                  | None -> ""))
+              failures;
+            `Error (false, Printf.sprintf "%d oracle failure(s)" (List.length failures)))
+  in
+  let instances_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "instances" ] ~docv:"N"
+          ~doc:"Random bipartite instances for the cross-solver oracle.")
+  in
+  let scenarios_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "scenarios" ] ~docv:"N"
+          ~doc:"Random simulator scenarios for the cross-scheduler oracle.")
+  in
+  let check_rounds_arg =
+    Arg.(
+      value & opt int 30
+      & info [ "rounds" ] ~docv:"R" ~doc:"Rounds per simulator scenario.")
+  in
+  let repro_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro-dir" ] ~docv:"DIR"
+          ~doc:"Write minimised failing instances to DIR as repro files.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Re-check a single repro FILE instead of fuzzing.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Differential verification: cross-solver and cross-scheduler oracles over \
+          seeded random instances, with failure shrinking and repro files.")
+    Term.(
+      ret
+        (const run $ seed_arg $ instances_arg $ scenarios_arg $ check_rounds_arg
+       $ repro_dir_arg $ replay_arg))
+
+(* ------------------------------------------------------------------ *)
 (* proto                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -531,4 +617,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ bounds_cmd; allocate_cmd; simulate_cmd; attack_cmd; sweep_cmd; plan_cmd; proto_cmd ]))
+          [
+            bounds_cmd;
+            allocate_cmd;
+            simulate_cmd;
+            attack_cmd;
+            sweep_cmd;
+            plan_cmd;
+            check_cmd;
+            proto_cmd;
+          ]))

@@ -1,0 +1,155 @@
+module B = Vod_graph.Bipartite
+module Engine = Vod_sim.Engine
+
+let ( let* ) = Result.bind
+
+(* A deliberately non-uniform edge cost so the min-cost solver is
+   exercised on a cost structure resembling the engine's schedulers;
+   any cost function must leave the matched cardinality maximal. *)
+let probe_cost ~left ~right = (left + (2 * right)) mod 5
+
+let solver_agreement inst =
+  let bip = Instance.to_bipartite inst in
+  let outcomes =
+    [
+      ("dinic", B.solve ~algorithm:B.Dinic_flow bip);
+      ("push_relabel", B.solve ~algorithm:B.Push_relabel_flow bip);
+      ("hopcroft_karp", B.solve ~algorithm:B.Hopcroft_karp_matching bip);
+      ("min_cost_flow", B.solve_min_cost bip ~edge_cost:probe_cost);
+    ]
+  in
+  let* () =
+    List.fold_left
+      (fun acc (name, o) ->
+        let* () = acc in
+        match Certificate.check_matching inst o with
+        | Ok () -> Ok ()
+        | Error m -> Error (Printf.sprintf "%s produced an invalid matching: %s" name m))
+      (Ok ()) outcomes
+  in
+  let counts = List.map (fun (name, o) -> (name, o.B.matched)) outcomes in
+  let reference = snd (List.hd counts) in
+  let* () =
+    if List.for_all (fun (_, m) -> m = reference) counts then Ok ()
+    else
+      Error
+        ("solvers disagree on matched cardinality: "
+        ^ String.concat ", "
+            (List.map (fun (n, m) -> Printf.sprintf "%s=%d" n m) counts))
+  in
+  match (B.hall_violator bip, reference = inst.Instance.n_left) with
+  | None, true -> Ok reference
+  | None, false ->
+      Error
+        (Printf.sprintf "matching leaves %d requests unserved but no Hall violator"
+           (inst.Instance.n_left - reference))
+  | Some _, true -> Error "perfect matching alongside a Hall violator"
+  | Some v, false -> (
+      match Certificate.check_optimal_pair inst (snd (List.hd outcomes)) v with
+      | Ok () -> Ok reference
+      | Error m -> Error ("Hall certificate rejected: " ^ m))
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler differential                                              *)
+(* ------------------------------------------------------------------ *)
+
+type sched_outcome = {
+  rounds_run : int;
+  failure_rounds : int;
+  certified_failure_rounds : int;
+}
+
+(* Independently audit one engine's failed round: the engine must expose
+   the instance and a violator, the checker must confirm the violator,
+   and all four solvers must agree that the engine's matching was
+   maximum on that very instance. *)
+let audit_failure name engine (report : Engine.round_report) =
+  match (Engine.last_violator engine, Engine.last_instance engine) with
+  | None, _ -> Error (Printf.sprintf "%s: failed round %d without a Hall violator" name report.Engine.time)
+  | _, None -> Error (Printf.sprintf "%s: failed round %d without an instance" name report.Engine.time)
+  | Some v, Some bip -> (
+      let inst = Instance.of_bipartite bip in
+      match Certificate.check_violator inst v with
+      | Error m ->
+          Error (Printf.sprintf "%s: round %d certificate rejected: %s" name report.Engine.time m)
+      | Ok () -> (
+          match solver_agreement inst with
+          | Error m ->
+              Error (Printf.sprintf "%s: round %d failing instance: %s" name report.Engine.time m)
+          | Ok maximum ->
+              if maximum <> report.Engine.served then
+                Error
+                  (Printf.sprintf
+                     "%s: round %d served %d but the maximum matching is %d" name
+                     report.Engine.time report.Engine.served maximum)
+              else Ok ()))
+
+let scheduler_agreement ~params ~fleet ~alloc ?compensation ~rounds ~script () =
+  let mk scheduler =
+    Engine.create ~params ~fleet ~alloc ?compensation ~policy:Engine.Continue
+      ~scheduler ()
+  in
+  let engines =
+    [
+      ("arbitrary", mk Engine.Arbitrary);
+      ("prefer_cache", mk Engine.Prefer_cache);
+      ("sticky", mk Engine.Sticky);
+    ]
+  in
+  let failure_rounds = ref 0 and certified = ref 0 in
+  let diverged = ref false in
+  let error = ref None in
+  let set_error m = if !error = None then error := Some m in
+  let round = ref 0 in
+  while !error = None && !round < rounds do
+    incr round;
+    let reports =
+      List.map
+        (fun (name, e) ->
+          let time = Engine.now e + 1 in
+          List.iter
+            (fun (t, b, v) ->
+              if t = time && Engine.is_idle e b then Engine.demand e ~box:b ~video:v)
+            script;
+          (name, e, Engine.step e))
+        engines
+    in
+    List.iter
+      (fun (name, e, r) ->
+        if r.Engine.unserved > 0 then begin
+          if name = "arbitrary" then incr failure_rounds;
+          match audit_failure name e r with
+          | Ok () -> incr certified
+          | Error m -> set_error m
+        end)
+      reports;
+    (match reports with
+    | (_, _, ref_r) :: others when not !diverged ->
+        List.iter
+          (fun (name, _, r) ->
+            if
+              r.Engine.served <> ref_r.Engine.served
+              || r.Engine.active_requests <> ref_r.Engine.active_requests
+              || r.Engine.new_demands <> ref_r.Engine.new_demands
+            then
+              set_error
+                (Printf.sprintf
+                   "round %d: %s served %d/%d but arbitrary served %d/%d" !round
+                   name r.Engine.served r.Engine.active_requests ref_r.Engine.served
+                   ref_r.Engine.active_requests))
+          others;
+        (* once any scheduler has a deficit the schedulers may stall
+           different requests, so per-round counts stop being comparable *)
+        if List.exists (fun (_, _, r) -> r.Engine.unserved > 0) reports then
+          diverged := true
+    | _ -> ())
+  done;
+  match !error with
+  | Some m -> Error m
+  | None ->
+      Ok
+        {
+          rounds_run = !round;
+          failure_rounds = !failure_rounds;
+          certified_failure_rounds = !certified;
+        }

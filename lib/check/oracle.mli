@@ -1,0 +1,43 @@
+(** Differential oracles: independent implementations must agree.
+
+    Two levels, mirroring the two layers whose correctness the paper's
+    guarantees rest on:
+
+    - {!solver_agreement}: the four maximum-matching solvers (Dinic,
+      push-relabel, Hopcroft–Karp, min-cost flow) run on the same
+      bipartite instance must report the same matched cardinality, each
+      matching must replay as a valid assignment, and on deficit the
+      Hall violator must be a checker-confirmed cut witness tight
+      against the matching (König duality);
+    - {!scheduler_agreement}: the simulator driven by the same demand
+      script under the [Arbitrary], [Prefer_cache] and [Sticky]
+      schedulers must report identical per-round matched counts — the
+      schedulers only pick {e which} maximum matching, never a smaller
+      one — and every failure round must yield a confirmed certificate.
+      Counts are compared up to and including the first failing round:
+      beyond it the schedulers may legitimately stall {e different}
+      requests, so the states (and hence later rounds) diverge. *)
+
+val solver_agreement : Instance.t -> (int, string) result
+(** The agreed matched cardinality, or a description of the first
+    disagreement / invalid certificate. *)
+
+type sched_outcome = {
+  rounds_run : int;
+  failure_rounds : int;  (** Rounds (of the arbitrary engine) with a deficit. *)
+  certified_failure_rounds : int;
+      (** Engine failure rounds (across all three schedulers) whose Hall
+          certificate the checker independently confirmed. *)
+}
+
+val scheduler_agreement :
+  params:Vod_model.Params.t ->
+  fleet:Vod_model.Box.t array ->
+  alloc:Vod_model.Allocation.t ->
+  ?compensation:Vod_analysis.Theorem2.compensation ->
+  rounds:int ->
+  script:(int * int * int) list ->
+  unit ->
+  (sched_outcome, string) result
+(** Drives three engines in lockstep over the [(time, box, video)]
+    demand script (busy boxes skipped, as in {!Vod_sim.Engine.run}). *)

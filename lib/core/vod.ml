@@ -45,6 +45,11 @@ module Expansion = Vod_adversary.Expansion
 module Attacks = Vod_adversary.Attacks
 module Catalog_search = Vod_adversary.Catalog_search
 
+module Check = Vod_check
+(** The differential verification subsystem: certificate checkers
+    ([Check.Certificate]), cross-solver and cross-scheduler oracles
+    ([Check.Oracle]) and the seeded fuzz harness ([Check.Fuzz]). *)
+
 module Theorem1 = Vod_analysis.Theorem1
 module Theorem2 = Vod_analysis.Theorem2
 module Obstruction_bound = Vod_analysis.Obstruction_bound

@@ -59,6 +59,7 @@ type t = {
   swarm : int Vec.t array; (* per video: entry times, ordered *)
   pending : (int * int) Vec.t; (* (box, video) demands for the next step *)
   mutable last_violator : Vod_graph.Bipartite.violator option;
+  mutable last_instance : Vod_graph.Bipartite.t option;
   sched_rng : Vod_util.Prng.t; (* randomness for the decentralised scheduler *)
   demand_round : int array; (* per box: round of its current demand's first request *)
   awaiting_first : int array; (* per box: stripes of the current demand not yet streaming *)
@@ -113,6 +114,7 @@ let create ~params ~fleet ~alloc ?compensation ?(policy = Fail_fast)
     pending = Vec.create ();
     sched_rng = Vod_util.Prng.create ~seed:0x7ea ();
     last_violator = None;
+    last_instance = None;
     demand_round = Array.make n 0;
     awaiting_first = Array.make n 0;
     startups = Vec.create ();
@@ -311,6 +313,7 @@ let video_request_stats t =
     by_video []
 
 let last_violator t = t.last_violator
+let last_instance t = t.last_instance
 
 let startup_delays t = Vec.to_array t.startups
 
@@ -401,6 +404,7 @@ let step t =
               (cachers candidate))
         (recent_for t req.stripe))
     requests;
+  t.last_instance <- Some instance;
   let outcome =
     match t.scheduler with
     | Arbitrary -> Vod_graph.Bipartite.solve instance

@@ -180,6 +180,13 @@ val step : t -> round_report
 val last_violator : t -> Vod_graph.Bipartite.violator option
 (** Hall certificate of the most recent failed round, if any. *)
 
+val last_instance : t -> Vod_graph.Bipartite.t option
+(** The bipartite connection-matching instance built by the most recent
+    {!step} ([None] before the first round).  Exposed so the
+    verification subsystem ([vod_check]) can audit the engine's
+    matchings and Hall certificates against the very instance the
+    scheduler solved. *)
+
 val video_request_stats : t -> (int * int * int * int) list
 (** For each video with active requests, [(video, i, i1, servers)]:
     the request count, the number of distinct stripes requested, and
