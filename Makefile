@@ -1,4 +1,4 @@
-.PHONY: all build test check fuzz bench clean
+.PHONY: all build test check fuzz bench bench-quick bench-json bench-compare fmt clean
 
 all: build
 
@@ -9,8 +9,10 @@ test:
 	dune runtest
 
 # Short-budget differential fuzz pass (separate from `dune runtest`):
-# 200 random bipartite instances x 4 max-matching solvers plus 6
-# simulated scenarios x 3 schedulers, every engine failure round
+# 200 random bipartite instances x 7 max-matching solvers (incl. the
+# warm-start incremental solver, cold and warm) plus 6 simulated
+# scenarios x 5 lockstep engines (3 schedulers + arbitrary/sticky on
+# the incremental matching engine), every engine failure round
 # certified by an independent Hall-violator check.  Fixed seed, so the
 # pass is deterministic and CI-friendly.
 check: build
@@ -18,8 +20,27 @@ check: build
 
 fuzz: check
 
+# Extra flags pass through: make bench BENCH_ARGS="--no-micro"
 bench:
-	dune exec bench/main.exe
+	dune exec bench/main.exe -- $(BENCH_ARGS)
+
+# Skip the E1-E9 experiment tables; micro- and matching benches still run.
+bench-quick:
+	dune exec bench/main.exe -- --quick $(BENCH_ARGS)
+
+# Machine-readable perf trajectory: scratch vs warm-start incremental
+# matching records at n in {256, 1024, 4096}, written to
+# BENCH_matching.json at the repo root.
+bench-json:
+	dune exec bench/main.exe -- --quick --no-micro --json BENCH_matching.json
+
+# Diff the fresh records against the committed baseline; fails on a
+# >25% ns_per_round regression.  Advisory in CI (timing-sensitive).
+bench-compare: bench-json
+	dune exec bench/compare.exe -- bench/BENCH_matching.baseline.json BENCH_matching.json
+
+fmt:
+	dune build @fmt
 
 clean:
 	dune clean

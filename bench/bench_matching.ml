@@ -1,0 +1,190 @@
+(* Scratch-vs-incremental matching benchmark.
+
+   Synthesises round sequences that mimic the engine's per-round
+   instance delta — a small fraction of requests departs and is
+   replaced by fresh arrivals each round, capacities drift slightly —
+   and times a from-scratch solve against the warm-start incremental
+   solver over the identical instance sequence.  Emits both a human
+   table and (via {!emit_json}) the machine-readable
+   [BENCH_matching.json] record set that `bench/compare.exe` diffs
+   against the committed baseline in CI. *)
+
+open Vod
+
+type record = {
+  name : string;
+  n : int;
+  rounds : int;
+  ns_per_round : float;
+  matched_per_round : float;
+}
+
+type scenario = { label : string; churn : float }
+
+let scenarios = [ { label = "low-churn"; churn = 0.02 }; { label = "high-churn"; churn = 0.40 } ]
+let sizes = [ 256; 1024; 4096 ]
+
+(* One identity-stable synthetic round sequence: request l keeps its row
+   (and hence its warm seat) unless churned, in which case it models a
+   departure plus a fresh arrival.  Returns the instances plus the
+   per-round churn sets (the lefts whose warm seat must be dropped). *)
+let make_sequence ~seed ~n_left ~rounds ~churn =
+  let g = Prng.create ~seed () in
+  let n_right = max 1 (n_left / 4) in
+  let degree = 8 in
+  let fresh_row () = Array.init degree (fun _ -> Prng.int g n_right) in
+  let right_cap = Array.init n_right (fun _ -> 2 + Prng.int g 7) in
+  let adj = Array.init n_left (fun _ -> fresh_row ()) in
+  let instances = ref [] in
+  for _round = 1 to rounds do
+    let churned = ref [] in
+    for l = 0 to n_left - 1 do
+      if Prng.float g 1.0 < churn then begin
+        adj.(l) <- fresh_row ();
+        churned := l :: !churned
+      end
+    done;
+    (* capacity drift: a couple of boxes gain or lose one upload slot *)
+    for _ = 1 to max 1 (n_right / 128) do
+      let r = Prng.int g n_right in
+      right_cap.(r) <- max 1 (right_cap.(r) + (if Prng.bool g then 1 else -1))
+    done;
+    let inst = Bipartite.create ~n_left ~n_right ~right_cap in
+    Array.iteri
+      (fun l row -> Array.iter (fun r -> Bipartite.add_edge inst ~left:l ~right:r) row)
+      adj;
+    (* force the memoised dedup now so neither timed solver pays it *)
+    ignore (Bipartite.adjacency inst);
+    instances := (inst, !churned) :: !instances
+  done;
+  List.rev !instances
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let time_scratch seq =
+  let matched = ref 0 in
+  let t0 = now_ns () in
+  List.iter
+    (fun (inst, _) ->
+      let o = Bipartite.solve inst in
+      matched := !matched + o.Bipartite.matched)
+    seq;
+  (now_ns () -. t0, !matched)
+
+let time_incremental seq ~n_left =
+  let st = Bipartite.Incremental.create () in
+  let warm = ref (Array.make n_left (-1)) in
+  let matched = ref 0 in
+  let t0 = now_ns () in
+  List.iter
+    (fun (inst, churned) ->
+      (* departures/arrivals lose their seat; survivors keep theirs *)
+      List.iter (fun l -> !warm.(l) <- -1) churned;
+      let o = Bipartite.solve_incremental st ~warm_start:!warm inst in
+      warm := o.Bipartite.assignment;
+      matched := !matched + o.Bipartite.matched)
+    seq;
+  (now_ns () -. t0, !matched)
+
+let run () =
+  let records = ref [] in
+  List.iter
+    (fun { label; churn } ->
+      List.iter
+        (fun n_left ->
+          (* Small sizes need more rounds: the timed region must stay
+             well above scheduler-jitter scale or the compare gate sees
+             phantom regressions. *)
+          let rounds = if n_left >= 4096 then 32 else 96 in
+          let seq = make_sequence ~seed:(0xbe2c + n_left) ~n_left ~rounds ~churn in
+          (* warm both paths once (allocator, code) before timing *)
+          ignore (time_scratch [ List.hd seq ]);
+          ignore (time_incremental [ List.hd seq ] ~n_left);
+          (* best-of-5: scheduler hiccups only ever add time, so the
+             minimum is the stable estimate the regression gate needs *)
+          let best_of f =
+            let best = ref infinity and matched = ref 0 in
+            for _ = 1 to 5 do
+              let ns, m = f () in
+              if ns < !best then best := ns;
+              matched := m
+            done;
+            (!best, !matched)
+          in
+          let scratch_ns, scratch_matched = best_of (fun () -> time_scratch seq) in
+          let inc_ns, inc_matched = best_of (fun () -> time_incremental seq ~n_left) in
+          if scratch_matched <> inc_matched then
+            failwith
+              (Printf.sprintf
+                 "bench_matching: scratch and incremental disagree at n=%d %s (%d vs %d)"
+                 n_left label scratch_matched inc_matched);
+          let r = float_of_int rounds in
+          let mk name ns matched =
+            {
+              name;
+              n = n_left;
+              rounds;
+              ns_per_round = ns /. r;
+              matched_per_round = float_of_int matched /. r;
+            }
+          in
+          records :=
+            mk (Printf.sprintf "matching/incremental/%s" label) inc_ns inc_matched
+            :: mk (Printf.sprintf "matching/scratch/%s" label) scratch_ns scratch_matched
+            :: !records)
+        sizes)
+    scenarios;
+  List.rev !records
+
+let print_table records =
+  let tbl =
+    Table.create
+      ~columns:
+        [
+          ("benchmark", Table.Left);
+          ("n", Table.Right);
+          ("rounds", Table.Right);
+          ("ns/round", Table.Right);
+          ("matched/round", Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row tbl
+        [
+          r.name;
+          string_of_int r.n;
+          string_of_int r.rounds;
+          Printf.sprintf "%.0f" r.ns_per_round;
+          Printf.sprintf "%.1f" r.matched_per_round;
+        ])
+    records;
+  Table.print ~title:"Connection matching: scratch vs warm-start incremental" tbl;
+  (* headline: the ratio the acceptance gate watches *)
+  let find name n =
+    List.find_opt (fun r -> r.name = name && r.n = n) records
+  in
+  match (find "matching/scratch/low-churn" 4096, find "matching/incremental/low-churn" 4096) with
+  | Some s, Some i when i.ns_per_round > 0.0 ->
+      Printf.printf "low-churn n=4096 speed-up (scratch / incremental): %.1fx\n"
+        (s.ns_per_round /. i.ns_per_round)
+  | _ -> ()
+
+let emit_json records ~path =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"vod-bench-matching/1\",\n  \"records\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"n\": %d, \"rounds\": %d, \"ns_per_round\": %.3f, \
+            \"matched_per_round\": %.3f}%s\n"
+           r.name r.n r.rounds r.ns_per_round r.matched_per_round
+           (if i = List.length records - 1 then "" else ",")))
+    records;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Printf.printf "matching bench records written to %s\n" path

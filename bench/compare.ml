@@ -1,0 +1,267 @@
+(* compare — diff a freshly generated BENCH_matching.json against the
+   committed baseline and fail on ns_per_round regressions.
+
+     dune exec bench/compare.exe -- BASELINE CURRENT [--threshold PCT]
+
+   Records are matched on (name, n).  A record regresses when its
+   ns_per_round exceeds the baseline's by more than the threshold
+   (default 25%).  New records (no baseline entry) and retired records
+   are reported but never fail the run, so the gate survives adding or
+   renaming benchmarks.  Exit status: 0 clean, 1 regression, 2 bad
+   input.  Wired as an advisory CI job (see .github/workflows/ci.yml)
+   and as `make bench-compare`. *)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON reader (objects, arrays, strings, numbers — the subset
+   bench_matching.emit_json writes; no external JSON dependency).      *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+exception Parse of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail m = raise (Parse (Printf.sprintf "%s at offset %d" m !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    then begin
+      advance ();
+      skip_ws ()
+    end
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then fail (Printf.sprintf "expected '%c'" c);
+    advance ()
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let string_body () =
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          if !pos >= n then fail "dangling escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | c -> fail (Printf.sprintf "unsupported escape \\%c" c));
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            expect '"';
+            let key = string_body () in
+            expect ':';
+            let v = value () in
+            fields := (key, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                members ()
+            | '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                elements ()
+            | ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          Arr (List.rev !items)
+        end
+    | '"' ->
+        advance ();
+        Str (string_body ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | c when c = '-' || (c >= '0' && c <= '9') -> Num (number ())
+    | _ -> fail "unexpected character"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Record extraction and comparison                                    *)
+(* ------------------------------------------------------------------ *)
+
+type record = { name : string; n : int; ns_per_round : float }
+
+let field key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let records_of_file path =
+  let contents =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let root = parse_json contents in
+  (match field "schema" root with
+  | Some (Str "vod-bench-matching/1") -> ()
+  | _ -> raise (Parse (path ^ ": missing or unknown \"schema\"")));
+  match field "records" root with
+  | Some (Arr items) ->
+      List.map
+        (fun item ->
+          match (field "name" item, field "n" item, field "ns_per_round" item) with
+          | Some (Str name), Some (Num n), Some (Num ns) ->
+              { name; n = int_of_float n; ns_per_round = ns }
+          | _ -> raise (Parse (path ^ ": malformed record")))
+        items
+  | _ -> raise (Parse (path ^ ": missing \"records\" array"))
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let threshold = ref 25.0 in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: pct :: rest ->
+        (match float_of_string_opt pct with
+        | Some p when p > 0.0 -> threshold := p
+        | _ ->
+            prerr_endline "compare: --threshold expects a positive percentage";
+            exit 2);
+        parse rest
+    | a :: rest ->
+        paths := a :: !paths;
+        parse rest
+  in
+  parse (List.tl args);
+  match List.rev !paths with
+  | [ baseline_path; current_path ] -> (
+      try
+        let baseline = records_of_file baseline_path in
+        let current = records_of_file current_path in
+        let regressions = ref [] in
+        Printf.printf "%-36s %6s %14s %14s %9s\n" "benchmark" "n" "baseline ns/rd"
+          "current ns/rd" "delta";
+        List.iter
+          (fun cur ->
+            match
+              List.find_opt (fun b -> b.name = cur.name && b.n = cur.n) baseline
+            with
+            | None ->
+                Printf.printf "%-36s %6d %14s %14.0f %9s\n" cur.name cur.n "-"
+                  cur.ns_per_round "new"
+            | Some base ->
+                let delta =
+                  100.0 *. ((cur.ns_per_round /. base.ns_per_round) -. 1.0)
+                in
+                let verdict =
+                  if delta > !threshold then begin
+                    regressions := (cur, base, delta) :: !regressions;
+                    "REGRESSED"
+                  end
+                  else Printf.sprintf "%+.1f%%" delta
+                in
+                Printf.printf "%-36s %6d %14.0f %14.0f %9s\n" cur.name cur.n
+                  base.ns_per_round cur.ns_per_round verdict)
+          current;
+        List.iter
+          (fun b ->
+            if
+              not
+                (List.exists (fun c -> c.name = b.name && c.n = b.n) current)
+            then Printf.printf "%-36s %6d (retired: present only in baseline)\n" b.name b.n)
+          baseline;
+        match !regressions with
+        | [] ->
+            Printf.printf "verdict: no ns_per_round regression beyond %.0f%%\n" !threshold;
+            exit 0
+        | rs ->
+            List.iter
+              (fun (cur, base, delta) ->
+                Printf.printf
+                  "REGRESSION %s n=%d: %.0f -> %.0f ns/round (%+.1f%% > %.0f%%)\n"
+                  cur.name cur.n base.ns_per_round cur.ns_per_round delta !threshold)
+              rs;
+            exit 1
+      with
+      | Parse m ->
+          prerr_endline ("compare: " ^ m);
+          exit 2
+      | Sys_error m ->
+          prerr_endline ("compare: " ^ m);
+          exit 2)
+  | _ ->
+      prerr_endline "usage: compare BASELINE.json CURRENT.json [--threshold PCT]";
+      exit 2

@@ -5,9 +5,15 @@
    2. Runs Bechamel micro-benchmarks of the performance-critical
       substrate: max-flow solvers, allocation construction and the
       simulator round loop.
+   3. Runs the scratch-vs-incremental matching benchmark
+      (bench_matching.ml) and, with [--json PATH], writes its records
+      as machine-readable JSON for the CI regression gate
+      (bench/compare.exe).
 
-   Run with:  dune exec bench/main.exe
-   Skip micro-benchmarks with:  dune exec bench/main.exe -- --no-micro *)
+   Run with:            dune exec bench/main.exe
+   Skip micro-benches:  dune exec bench/main.exe -- --no-micro
+   Skip experiments:    dune exec bench/main.exe -- --quick
+   Emit bench records:  dune exec bench/main.exe -- --json BENCH_matching.json *)
 
 open Vod
 
@@ -99,15 +105,37 @@ let micro_benchmarks () =
       | _ -> Printf.printf "%-42s (no estimate)\n" name)
     results
 
+let json_path () =
+  let path = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--json" then
+        if i + 1 < Array.length Sys.argv then path := Some Sys.argv.(i + 1)
+        else begin
+          prerr_endline "--json requires a PATH argument";
+          exit 2
+        end)
+    Sys.argv;
+  !path
+
 let () =
   let no_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
+  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  let json = json_path () in
   print_endline "Reproduction harness for:";
   print_endline
     "  Boufkhad, Mathieu, de Montgolfier, Perino, Viennot.\n\
     \  \"An Upload Bandwidth Threshold for Peer-to-Peer Video-on-Demand\n\
     \  Scalability\", IPDPS 2009.";
-  Experiments.run_all ();
+  if not quick then Experiments.run_all ()
+  else print_endline "(--quick: skipping the E1-E9 experiment tables)";
   if not no_micro then micro_benchmarks ();
+  print_newline ();
+  let records = Bench_matching.run () in
+  Bench_matching.print_table records;
+  (match json with
+  | None -> ()
+  | Some path -> Bench_matching.emit_json records ~path);
   print_newline ();
   print_endline
     "All experiments completed. See EXPERIMENTS.md for the paper-vs-measured record."

@@ -216,8 +216,20 @@ let rate_arg =
   Arg.(
     value & opt float 2.0 & info [ "rate" ] ~docv:"RATE" ~doc:"Mean arrivals per round.")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("scratch", Vod.Engine.Scratch); ("incremental", Vod.Engine.Incremental) ])
+        Vod.Engine.Scratch
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Per-round matching engine: $(b,scratch) (re-solve the max flow every round) \
+           or $(b,incremental) (warm-start the solver with the previous round's \
+           matching and repair only the delta).")
+
 let simulate_cmd =
-  let run n u d c k m mu duration rounds seed scheme workload rate csv load =
+  let run n u d c k m mu duration rounds seed scheme workload rate engine csv load =
     try
       let params, fleet, alloc =
         match load with
@@ -235,7 +247,8 @@ let simulate_cmd =
                 (params, fleet, alloc))
       in
       let sim =
-        Vod.Engine.create ~params ~fleet ~alloc ~policy:Vod.Engine.Continue ()
+        Vod.Engine.create ~params ~fleet ~alloc ~policy:Vod.Engine.Continue
+          ~matching:engine ()
       in
       let g = Vod.Prng.create ~seed:(seed + 7) () in
       let gen =
@@ -258,6 +271,16 @@ let simulate_cmd =
           (Vod.Stats.mean fdelays)
           (Array.fold_left Float.max 0.0 fdelays)
       end;
+      (match Vod.Engine.matching_stats sim with
+      | None -> ()
+      | Some s ->
+          Printf.printf
+            "incremental matcher: %d rounds (%d warm-start, %d full solves), %d seats \
+             kept, %d requests repaired\n"
+            s.Vod.Bipartite.Incremental.rounds
+            s.Vod.Bipartite.Incremental.incremental_solves
+            s.Vod.Bipartite.Incremental.full_solves s.Vod.Bipartite.Incremental.reseated
+            s.Vod.Bipartite.Incremental.repaired);
       (match metrics.Vod.Metrics.first_failure with
       | None -> print_endline "verdict: every request served on time"
       | Some t -> Printf.printf "verdict: first failed round at t = %d\n" t);
@@ -291,7 +314,7 @@ let simulate_cmd =
       ret
         (const run $ n_arg $ u_arg $ d_arg $ c_arg $ k_arg $ m_arg $ mu_arg
        $ duration_arg $ rounds_arg $ seed_arg $ scheme_arg $ workload_arg $ rate_arg
-       $ csv_arg $ load_arg))
+       $ engine_arg $ csv_arg $ load_arg))
 
 (* ------------------------------------------------------------------ *)
 (* attack                                                              *)
@@ -480,7 +503,7 @@ let check_cmd =
     | Some path -> (
         match Vod.Check.Fuzz.replay ~path with
         | Ok matched ->
-            Printf.printf "repro %s: all four solvers agree (matched = %d); bug no \
+            Printf.printf "repro %s: all solvers agree (matched = %d); bug no \
                            longer reproduces\n"
               path matched;
             `Ok ()
@@ -492,8 +515,8 @@ let check_cmd =
           Vod.Check.Fuzz.run ~seed ~instances ~scenarios ~rounds ?repro_dir ()
         in
         Printf.printf
-          "differential check (seed %d): %d bipartite instances x 4 solvers, %d \
-           scenarios x 3 schedulers\n"
+          "differential check (seed %d): %d bipartite instances x 7 solvers, %d \
+           scenarios x 5 engines (3 schedulers + 2 incremental)\n"
           seed summary.Vod.Check.Fuzz.instances_checked
           summary.Vod.Check.Fuzz.scenarios_checked;
         Printf.printf

@@ -10,12 +10,25 @@ let probe_cost ~left ~right = (left + (2 * right)) mod 5
 
 let solver_agreement inst =
   let bip = Instance.to_bipartite inst in
+  let dinic = B.solve ~algorithm:B.Dinic_flow bip in
+  (* The incremental solver joins the panel twice: cold (no warm start:
+     must equal a scratch solve) and warm-started from another solver's
+     assignment (every seat re-validates, repair must find nothing new
+     to add beyond the optimum). *)
+  let inc st ?warm_start () = B.solve_incremental st ?warm_start bip in
   let outcomes =
     [
-      ("dinic", B.solve ~algorithm:B.Dinic_flow bip);
+      ("dinic", dinic);
       ("push_relabel", B.solve ~algorithm:B.Push_relabel_flow bip);
       ("hopcroft_karp", B.solve ~algorithm:B.Hopcroft_karp_matching bip);
       ("min_cost_flow", B.solve_min_cost bip ~edge_cost:probe_cost);
+      ("incremental_cold", inc (B.Incremental.create ()) ());
+      ( "incremental_warm_hk",
+        inc (B.Incremental.create ()) ~warm_start:dinic.B.assignment () );
+      ( "incremental_warm_dinic",
+        inc
+          (B.Incremental.create ~algorithm:B.Dinic_flow ())
+          ~warm_start:dinic.B.assignment () );
     ]
   in
   let* () =
@@ -85,15 +98,21 @@ let audit_failure name engine (report : Engine.round_report) =
               else Ok ()))
 
 let scheduler_agreement ~params ~fleet ~alloc ?compensation ~rounds ~script () =
-  let mk scheduler =
+  let mk ?matching scheduler =
     Engine.create ~params ~fleet ~alloc ?compensation ~policy:Engine.Continue
-      ~scheduler ()
+      ~scheduler ?matching ()
   in
+  (* The incremental engines ride in the same lockstep: every round,
+     their served counts must equal the scratch arbitrary engine's
+     (warm-start repair must never lose cardinality), and their failure
+     rounds are certified with the same independent Hall checks. *)
   let engines =
     [
       ("arbitrary", mk Engine.Arbitrary);
       ("prefer_cache", mk Engine.Prefer_cache);
       ("sticky", mk Engine.Sticky);
+      ("arbitrary_incremental", mk ~matching:Engine.Incremental Engine.Arbitrary);
+      ("sticky_incremental", mk ~matching:Engine.Incremental Engine.Sticky);
     ]
   in
   let failure_rounds = ref 0 and certified = ref 0 in

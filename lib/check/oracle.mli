@@ -3,20 +3,25 @@
     Two levels, mirroring the two layers whose correctness the paper's
     guarantees rest on:
 
-    - {!solver_agreement}: the four maximum-matching solvers (Dinic,
-      push-relabel, Hopcroft–Karp, min-cost flow) run on the same
-      bipartite instance must report the same matched cardinality, each
-      matching must replay as a valid assignment, and on deficit the
-      Hall violator must be a checker-confirmed cut witness tight
+    - {!solver_agreement}: the maximum-matching solvers (Dinic,
+      push-relabel, Hopcroft–Karp, min-cost flow, plus the warm-start
+      incremental solver both cold and warm-started from another
+      solver's assignment, under each of its two backends) run on the
+      same bipartite instance must report the same matched cardinality,
+      each matching must replay as a valid assignment, and on deficit
+      the Hall violator must be a checker-confirmed cut witness tight
       against the matching (König duality);
     - {!scheduler_agreement}: the simulator driven by the same demand
       script under the [Arbitrary], [Prefer_cache] and [Sticky]
-      schedulers must report identical per-round matched counts — the
-      schedulers only pick {e which} maximum matching, never a smaller
-      one — and every failure round must yield a confirmed certificate.
-      Counts are compared up to and including the first failing round:
-      beyond it the schedulers may legitimately stall {e different}
-      requests, so the states (and hence later rounds) diverge. *)
+      schedulers — plus [Arbitrary] and [Sticky] re-run on the
+      {!Vod_sim.Engine.Incremental} matching engine — must report
+      identical per-round matched counts: the schedulers only pick
+      {e which} maximum matching, and warm-start repair must never lose
+      cardinality against a from-scratch solve.  Every failure round
+      must yield a confirmed certificate.  Counts are compared up to and
+      including the first failing round: beyond it the engines may
+      legitimately stall {e different} requests, so the states (and
+      hence later rounds) diverge. *)
 
 val solver_agreement : Instance.t -> (int, string) result
 (** The agreed matched cardinality, or a description of the first
@@ -26,8 +31,8 @@ type sched_outcome = {
   rounds_run : int;
   failure_rounds : int;  (** Rounds (of the arbitrary engine) with a deficit. *)
   certified_failure_rounds : int;
-      (** Engine failure rounds (across all three schedulers) whose Hall
-          certificate the checker independently confirmed. *)
+      (** Engine failure rounds (across all five lockstep engines) whose
+          Hall certificate the checker independently confirmed. *)
 }
 
 val scheduler_agreement :
@@ -39,5 +44,6 @@ val scheduler_agreement :
   script:(int * int * int) list ->
   unit ->
   (sched_outcome, string) result
-(** Drives three engines in lockstep over the [(time, box, video)]
-    demand script (busy boxes skipped, as in {!Vod_sim.Engine.run}). *)
+(** Drives the five engines (three schedulers + the two incremental
+    variants) in lockstep over the [(time, box, video)] demand script
+    (busy boxes skipped, as in {!Vod_sim.Engine.run}). *)

@@ -57,26 +57,32 @@ type outcome = { matched : int; assignment : int array; right_load : int array }
 
 (* Flow-network encoding of Lemma 1: source -> request (cap 1),
    request -> box (unbounded), box -> sink (cap = upload slots). *)
-let build_network t =
+let build_network_full t =
   let src = 0 in
   let left_base = 1 in
   let right_base = 1 + t.n_left in
   let sink = 1 + t.n_left + t.n_right in
   let net = F.create (sink + 1) in
   let adj = adjacency t in
+  let src_arcs = Array.make (max t.n_left 1) 0 in
   for l = 0 to t.n_left - 1 do
-    ignore (F.add_edge net ~src ~dst:(left_base + l) ~cap:1)
+    src_arcs.(l) <- F.add_edge net ~src ~dst:(left_base + l) ~cap:1
   done;
-  let middle = Array.make t.n_left [||] in
+  let middle = Array.make (max t.n_left 1) [||] in
   for l = 0 to t.n_left - 1 do
     middle.(l) <-
       Array.map
         (fun r -> F.add_edge net ~src:(left_base + l) ~dst:(right_base + r) ~cap:1)
         adj.(l)
   done;
+  let sink_arcs = Array.make (max t.n_right 1) 0 in
   for r = 0 to t.n_right - 1 do
-    ignore (F.add_edge net ~src:(right_base + r) ~dst:sink ~cap:t.right_cap.(r))
+    sink_arcs.(r) <- F.add_edge net ~src:(right_base + r) ~dst:sink ~cap:t.right_cap.(r)
   done;
+  (net, src, sink, middle, src_arcs, sink_arcs)
+
+let build_network t =
+  let net, src, sink, middle, _, _ = build_network_full t in
   (net, src, sink, middle)
 
 let outcome_of_flow t net middle =
@@ -110,7 +116,7 @@ let solve ?(algorithm = Dinic_flow) t =
   | Hopcroft_karp_matching ->
       let r =
         Hopcroft_karp.solve ~n_left:t.n_left ~n_right:t.n_right ~adj:(adjacency t)
-          ~right_cap:t.right_cap
+          ~right_cap:t.right_cap ()
       in
       { matched = r.Hopcroft_karp.size; assignment = r.assignment; right_load = r.right_load }
 
@@ -273,3 +279,137 @@ let hall_violator t =
     done;
     Some { requests = !requests; servers = !servers; server_slots = !slots }
   end
+
+(* ------------------------------------------------------------------ *)
+(* Warm-start incremental solving                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Incremental = struct
+  type stats = {
+    rounds : int;
+    full_solves : int;
+    incremental_solves : int;
+    reseated : int;
+    repaired : int;
+  }
+
+  type state = {
+    algorithm : algorithm;
+    fallback_threshold : float;
+    mutable s_rounds : int;
+    mutable s_full : int;
+    mutable s_incremental : int;
+    mutable s_reseated : int;
+    mutable s_repaired : int;
+  }
+
+  let create ?(algorithm = Hopcroft_karp_matching) ?(fallback_threshold = 0.5) () =
+    (match algorithm with
+    | Hopcroft_karp_matching | Dinic_flow -> ()
+    | Push_relabel_flow ->
+        invalid_arg "Bipartite.Incremental.create: push-relabel has no warm-start path");
+    if not (fallback_threshold >= 0.0 && fallback_threshold <= 1.0) then
+      invalid_arg "Bipartite.Incremental.create: threshold outside [0, 1]";
+    {
+      algorithm;
+      fallback_threshold;
+      s_rounds = 0;
+      s_full = 0;
+      s_incremental = 0;
+      s_reseated = 0;
+      s_repaired = 0;
+    }
+
+  let stats st =
+    {
+      rounds = st.s_rounds;
+      full_solves = st.s_full;
+      incremental_solves = st.s_incremental;
+      reseated = st.s_reseated;
+      repaired = st.s_repaired;
+    }
+
+  (* Validate the caller's warm seats against the *current* instance:
+     the previous server must still be adjacent (departures, cache
+     expiry) and still within its possibly-shrunk capacity (churn,
+     relay reservation changes).  Returns the cleaned seating and how
+     many seats survived. *)
+  let validate_seats t warm =
+    let cleaned = Array.make t.n_left (-1) in
+    let load = Array.make (max t.n_right 1) 0 in
+    let seated = ref 0 in
+    let adj = adjacency t in
+    Array.iteri
+      (fun l r ->
+        if r >= 0 && r < t.n_right && load.(r) < t.right_cap.(r) && Array.mem r adj.(l)
+        then begin
+          cleaned.(l) <- r;
+          load.(r) <- load.(r) + 1;
+          incr seated
+        end)
+      warm;
+    (cleaned, !seated)
+
+  (* Dinic with a warm start: pre-push one unit along every validated
+     seat's source -> request -> box -> sink path, then run Dinic on the
+     residual network; it only has to find the augmenting paths the
+     delta disturbed. *)
+  let solve_dinic_warm t cleaned =
+    let net, src, sink, middle, src_arcs, sink_arcs = build_network_full t in
+    let adj = adjacency t in
+    Array.iteri
+      (fun l r ->
+        if r >= 0 then begin
+          let i = ref 0 in
+          while adj.(l).(!i) <> r do
+            incr i
+          done;
+          F.push net src_arcs.(l) 1;
+          F.push net middle.(l).(!i) 1;
+          F.push net sink_arcs.(r) 1
+        end)
+      cleaned;
+    let (_ : int) = Dinic.max_flow net ~src ~sink in
+    outcome_of_flow t net middle
+
+  let solve st ?warm_start t =
+    st.s_rounds <- st.s_rounds + 1;
+    (match warm_start with
+    | Some ws when Array.length ws <> t.n_left ->
+        invalid_arg "Bipartite.Incremental.solve: warm_start length mismatch"
+    | _ -> ());
+    let cleaned, seated =
+      match warm_start with
+      | None -> (Array.make t.n_left (-1), 0)
+      | Some ws -> validate_seats t ws
+    in
+    st.s_reseated <- st.s_reseated + seated;
+    let dirty = t.n_left - seated in
+    if t.n_left > 0 && float_of_int dirty > st.fallback_threshold *. float_of_int t.n_left
+    then begin
+      st.s_full <- st.s_full + 1;
+      solve ~algorithm:st.algorithm t
+    end
+    else begin
+      st.s_incremental <- st.s_incremental + 1;
+      let outcome =
+        match st.algorithm with
+        | Hopcroft_karp_matching ->
+            let r =
+              Hopcroft_karp.solve ~warm_start:cleaned ~n_left:t.n_left
+                ~n_right:t.n_right ~adj:(adjacency t) ~right_cap:t.right_cap ()
+            in
+            {
+              matched = r.Hopcroft_karp.size;
+              assignment = r.assignment;
+              right_load = r.right_load;
+            }
+        | Dinic_flow -> solve_dinic_warm t cleaned
+        | Push_relabel_flow -> assert false
+      in
+      st.s_repaired <- st.s_repaired + (outcome.matched - seated);
+      outcome
+    end
+end
+
+let solve_incremental st ?warm_start t = Incremental.solve st ?warm_start t

@@ -79,3 +79,52 @@ val hall_violator : t -> violator option
 (** [None] when the instance is feasible; otherwise a certificate set
     [X] with [slots(B(X)) < |X|], extracted from the min cut of a
     maximum flow. *)
+
+(** Warm-start incremental solving.
+
+    The engine's per-round instances differ by a small delta (arrivals,
+    departures, playback advance, cache churn — at most a factor [mu]
+    of swarm growth between rounds), so the previous round's matching is
+    an excellent starting point.  {!Incremental.solve} re-seats each
+    request on its previous server when that seat is still valid in the
+    {e current} instance, then repairs only the augmenting paths the
+    delta disturbed; when the delta exceeds [fallback_threshold] (the
+    fraction of requests whose seat did not survive) it falls back to a
+    from-scratch solve.  Either way the result is a true {e maximum}
+    matching — warm starts change the work, never the cardinality. *)
+module Incremental : sig
+  type stats = {
+    rounds : int;  (** Total {!solve} calls. *)
+    full_solves : int;  (** Rounds that fell back to a scratch solve. *)
+    incremental_solves : int;  (** Rounds solved by warm-start repair. *)
+    reseated : int;  (** Warm seats that survived validation, summed. *)
+    repaired : int;  (** Requests matched by repair augmentation, summed. *)
+  }
+
+  type state
+  (** Persistent engine state: chosen backend, fallback threshold and
+      lifetime counters.  The previous matching itself is supplied by
+      the caller per round (as [warm_start]) because request indices are
+      re-numbered between rounds; the caller owns the identity map. *)
+
+  val create : ?algorithm:algorithm -> ?fallback_threshold:float -> unit -> state
+  (** Backend [algorithm] must be {!Hopcroft_karp_matching} (default;
+      pure combinatorial repair, no network construction) or
+      {!Dinic_flow} (pre-pushed residual flow).  [fallback_threshold]
+      (default 0.5) is the dirty-request fraction above which a scratch
+      solve is cheaper than repair.
+      @raise Invalid_argument on {!Push_relabel_flow} or a threshold
+      outside [0, 1]. *)
+
+  val solve : state -> ?warm_start:int array -> t -> outcome
+  (** [warm_start] maps each left to its previous server (or -1); seats
+      invalidated by the delta are dropped before repair.  Omitting it
+      is a cold start (counts as a full solve when [n_left > 0]).
+      @raise Invalid_argument on a length mismatch. *)
+
+  val stats : state -> stats
+end
+
+val solve_incremental : Incremental.state -> ?warm_start:int array -> t -> outcome
+(** Alias for {!Incremental.solve}: maximum matching via warm-start
+    delta repair with scratch fallback. *)

@@ -5,10 +5,14 @@ let infinity_dist = max_int
 (* Right vertices are expanded into unit "slots" (one per capacity unit),
    reducing the capacitated problem to textbook Hopcroft-Karp.  Slot ids
    for right [r] are [slot_start.(r) .. slot_start.(r+1) - 1]. *)
-let solve ~n_left ~n_right ~adj ~right_cap =
+let solve ?warm_start ~n_left ~n_right ~adj ~right_cap () =
   if Array.length adj <> n_left then invalid_arg "Hopcroft_karp.solve: adj length";
   if Array.length right_cap <> n_right then
     invalid_arg "Hopcroft_karp.solve: right_cap length";
+  (match warm_start with
+  | Some ws when Array.length ws <> n_left ->
+      invalid_arg "Hopcroft_karp.solve: warm_start length"
+  | _ -> ());
   Array.iter
     (fun c -> if c < 0 then invalid_arg "Hopcroft_karp.solve: negative cap")
     right_cap;
@@ -29,6 +33,30 @@ let solve ~n_left ~n_right ~adj ~right_cap =
   done;
   let match_left = Array.make n_left (-1) (* left -> slot *) in
   let match_slot = Array.make (max n_slots 1) (-1) (* slot -> left *) in
+  let size = ref 0 in
+  (* Warm start: re-seat each request on its previous box when that box
+     is still adjacent and has a free slot.  The seats form a valid
+     partial matching, so the phases below only have to augment from the
+     requests the round-to-round delta actually disturbed (Berge:
+     augmenting to exhaustion from any matching reaches a maximum). *)
+  (match warm_start with
+  | None -> ()
+  | Some ws ->
+      let fill = Array.make (max n_right 1) 0 in
+      Array.iteri
+        (fun l r ->
+          if
+            r >= 0 && r < n_right
+            && fill.(r) < right_cap.(r)
+            && Array.mem r adj.(l)
+          then begin
+            let s = slot_start.(r) + fill.(r) in
+            fill.(r) <- fill.(r) + 1;
+            match_left.(l) <- s;
+            match_slot.(s) <- l;
+            incr size
+          end)
+        ws);
   let dist = Array.make n_left infinity_dist in
   let queue = Queue.create () in
   let iter_slots l f =
@@ -83,7 +111,6 @@ let solve ~n_left ~n_right ~adj ~right_cap =
     if not !success then dist.(l) <- infinity_dist;
     !success
   in
-  let size = ref 0 in
   while bfs () do
     for l = 0 to n_left - 1 do
       if match_left.(l) = -1 && try_augment l then incr size

@@ -11,6 +11,18 @@ type result = {
   right_load : int array;  (** Units used per right vertex. *)
 }
 
-val solve : n_left:int -> n_right:int -> adj:int array array -> right_cap:int array -> result
-(** @raise Invalid_argument on negative capacities, adjacency out of
-    range, or mismatched array lengths. *)
+val solve :
+  ?warm_start:int array ->
+  n_left:int ->
+  n_right:int ->
+  adj:int array array ->
+  right_cap:int array ->
+  unit ->
+  result
+(** [warm_start] (length [n_left], entries a right vertex or -1) seats
+    each left on its previous right when still adjacent and not over
+    capacity, then runs the usual phases over the remaining free lefts
+    only — the warm-started incremental path.  The result is always a
+    {e maximum} matching regardless of the warm start.
+    @raise Invalid_argument on negative capacities, adjacency out of
+    range, or mismatched array lengths (including [warm_start]). *)

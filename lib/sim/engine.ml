@@ -23,6 +23,8 @@ type scheduler =
   | Prefer_local
   | Balance_load
 
+type matching_engine = Scratch | Incremental
+
 type round_report = {
   time : int;
   new_demands : int;
@@ -60,6 +62,8 @@ type t = {
   pending : (int * int) Vec.t; (* (box, video) demands for the next step *)
   mutable last_violator : Vod_graph.Bipartite.violator option;
   mutable last_instance : Vod_graph.Bipartite.t option;
+  inc_state : Vod_graph.Bipartite.Incremental.state option;
+      (* warm-start matcher, Some iff matching = Incremental *)
   sched_rng : Vod_util.Prng.t; (* randomness for the decentralised scheduler *)
   demand_round : int array; (* per box: round of its current demand's first request *)
   awaiting_first : int array; (* per box: stripes of the current demand not yet streaming *)
@@ -67,7 +71,7 @@ type t = {
 }
 
 let create ~params ~fleet ~alloc ?compensation ?(policy = Fail_fast)
-    ?(preloading = true) ?(scheduler = Arbitrary) ?topology () =
+    ?(preloading = true) ?(scheduler = Arbitrary) ?(matching = Scratch) ?topology () =
   let n = params.Params.n in
   (match (scheduler, topology) with
   | Prefer_local, None ->
@@ -115,6 +119,10 @@ let create ~params ~fleet ~alloc ?compensation ?(policy = Fail_fast)
     sched_rng = Vod_util.Prng.create ~seed:0x7ea ();
     last_violator = None;
     last_instance = None;
+    inc_state =
+      (match matching with
+      | Scratch -> None
+      | Incremental -> Some (Vod_graph.Bipartite.Incremental.create ()));
     demand_round = Array.make n 0;
     awaiting_first = Array.make n 0;
     startups = Vec.create ();
@@ -315,6 +323,9 @@ let video_request_stats t =
 let last_violator t = t.last_violator
 let last_instance t = t.last_instance
 
+let matching_stats t =
+  Option.map Vod_graph.Bipartite.Incremental.stats t.inc_state
+
 let startup_delays t = Vec.to_array t.startups
 
 (* The user stops watching: drop the box's in-flight and scheduled
@@ -405,9 +416,22 @@ let step t =
         (recent_for t req.stripe))
     requests;
   t.last_instance <- Some instance;
+  (* Warm start for the incremental matcher: each surviving request
+     still carries its previous server, so [last_server] is exactly the
+     previous matching projected through the round's delta (arrivals
+     enter at -1, departures simply vanish, capacity shrink is handled
+     by seat validation). *)
+  let incremental_warm () =
+    Array.map (fun req -> req.last_server) requests
+  in
   let outcome =
     match t.scheduler with
-    | Arbitrary -> Vod_graph.Bipartite.solve instance
+    | Arbitrary -> (
+        match t.inc_state with
+        | Some st ->
+            Vod_graph.Bipartite.solve_incremental st ~warm_start:(incremental_warm ())
+              instance
+        | None -> Vod_graph.Bipartite.solve instance)
     | Prefer_cache ->
         (* serving from a static replica costs 1, from a cache 0: among
            maximum matchings, minimise the load on the allocation *)
@@ -417,11 +441,22 @@ let step t =
           else 0
         in
         Vod_graph.Bipartite.solve_min_cost instance ~edge_cost:cost
-    | Sticky ->
-        (* keeping last round's connection costs 0, rewiring costs 1:
-           among maximum matchings, minimise connection churn *)
-        let cost ~left ~right = if requests.(left).last_server = right then 0 else 1 in
-        Vod_graph.Bipartite.solve_min_cost instance ~edge_cost:cost
+    | Sticky -> (
+        match t.inc_state with
+        | Some st ->
+            (* warm-start repair preserves every still-valid seat and
+               rewires only along repair augmenting paths — the
+               incremental analogue of the min-churn objective, at a
+               fraction of the min-cost-flow price *)
+            Vod_graph.Bipartite.solve_incremental st ~warm_start:(incremental_warm ())
+              instance
+        | None ->
+            (* keeping last round's connection costs 0, rewiring costs 1:
+               among maximum matchings, minimise connection churn *)
+            let cost ~left ~right =
+              if requests.(left).last_server = right then 0 else 1
+            in
+            Vod_graph.Bipartite.solve_min_cost instance ~edge_cost:cost)
     | Greedy_proposals rounds ->
         (* no global view: persistent connections carry over, then boxes
            negotiate locally for a few rounds for the rest *)

@@ -71,6 +71,23 @@ type scheduler =
       (** Among maximum matchings, minimise the total historical load of
           the chosen servers — a long-run forwarding-load balancer. *)
 
+(** How the per-round connection matching is computed. *)
+type matching_engine =
+  | Scratch  (** Re-solve the max-flow from scratch every round. *)
+  | Incremental
+      (** Warm-start the solver with the previous round's matching
+          ({!Vod_graph.Bipartite.Incremental}): each surviving request
+          is re-seated on its previous server when still valid, and only
+          the augmenting paths disturbed by the round's delta are
+          repaired, falling back to a scratch solve on large deltas.
+          Served counts are identical to [Scratch] (both are maximum
+          matchings); only the work per round changes.  Honoured by the
+          [Arbitrary] and [Sticky] schedulers — for [Sticky] the warm
+          start itself preserves still-valid connections, approximating
+          the min-churn objective without a min-cost flow.  The other
+          schedulers optimise global objectives that need a fresh
+          min-cost solve and ignore this knob. *)
+
 type round_report = {
   time : int;
   new_demands : int;
@@ -102,6 +119,7 @@ val create :
   ?policy:failure_policy ->
   ?preloading:bool ->
   ?scheduler:scheduler ->
+  ?matching:matching_engine ->
   ?topology:Topology.t ->
   unit ->
   t
@@ -110,7 +128,8 @@ val create :
     every box request all [c] stripes at once — the naive strategy the
     paper's Lemma 2 analysis rules out, kept as an ablation.
     A [topology] enables cross-group traffic accounting and the
-    [Prefer_local] scheduler.
+    [Prefer_local] scheduler.  [matching] (default [Scratch]) selects
+    the per-round matching engine; see {!matching_engine}.
     @raise Invalid_argument when fleet size, allocation, topology and
     params disagree, or [Prefer_local] is chosen without a topology. *)
 
@@ -179,6 +198,12 @@ val step : t -> round_report
 
 val last_violator : t -> Vod_graph.Bipartite.violator option
 (** Hall certificate of the most recent failed round, if any. *)
+
+val matching_stats : t -> Vod_graph.Bipartite.Incremental.stats option
+(** Lifetime counters of the warm-start matcher ([None] under
+    [Scratch]): rounds, full vs incremental solves, seats reseated and
+    requests repaired — the observability hook the bench harness and
+    [vodctl simulate --engine incremental] report. *)
 
 val last_instance : t -> Vod_graph.Bipartite.t option
 (** The bipartite connection-matching instance built by the most recent

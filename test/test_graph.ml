@@ -138,7 +138,7 @@ let test_hk_perfect_matching () =
   let r =
     Hopcroft_karp.solve ~n_left:3 ~n_right:3
       ~adj:[| [| 0 |]; [| 0; 1 |]; [| 1; 2 |] |]
-      ~right_cap:[| 1; 1; 1 |]
+      ~right_cap:[| 1; 1; 1 |] ()
   in
   checki "size" 3 r.size;
   checki "l0" 0 r.assignment.(0);
@@ -150,7 +150,7 @@ let test_hk_capacitated () =
   let r =
     Hopcroft_karp.solve ~n_left:3 ~n_right:1
       ~adj:[| [| 0 |]; [| 0 |]; [| 0 |] |]
-      ~right_cap:[| 3 |]
+      ~right_cap:[| 3 |] ()
   in
   checki "size" 3 r.size;
   checki "load" 3 r.right_load.(0)
@@ -159,17 +159,17 @@ let test_hk_saturated () =
   let r =
     Hopcroft_karp.solve ~n_left:3 ~n_right:1
       ~adj:[| [| 0 |]; [| 0 |]; [| 0 |] |]
-      ~right_cap:[| 2 |]
+      ~right_cap:[| 2 |] ()
   in
   checki "only two served" 2 r.size
 
 let test_hk_empty () =
-  let r = Hopcroft_karp.solve ~n_left:0 ~n_right:0 ~adj:[||] ~right_cap:[||] in
+  let r = Hopcroft_karp.solve ~n_left:0 ~n_right:0 ~adj:[||] ~right_cap:[||] () in
   checki "empty" 0 r.size
 
 let test_hk_isolated_left () =
   let r =
-    Hopcroft_karp.solve ~n_left:2 ~n_right:1 ~adj:[| [||]; [| 0 |] |] ~right_cap:[| 1 |]
+    Hopcroft_karp.solve ~n_left:2 ~n_right:1 ~adj:[| [||]; [| 0 |] |] ~right_cap:[| 1 |] ()
   in
   checki "isolated unmatched" 1 r.size;
   checki "unmatched is -1" (-1) r.assignment.(0)
@@ -177,7 +177,7 @@ let test_hk_isolated_left () =
 let test_hk_invalid () =
   Alcotest.check_raises "neg cap" (Invalid_argument "Hopcroft_karp.solve: negative cap")
     (fun () ->
-      ignore (Hopcroft_karp.solve ~n_left:1 ~n_right:1 ~adj:[| [| 0 |] |] ~right_cap:[| -1 |]))
+      ignore (Hopcroft_karp.solve ~n_left:1 ~n_right:1 ~adj:[| [| 0 |] |] ~right_cap:[| -1 |] ()))
 
 (* ------------------------------------------------------------------ *)
 (* Bipartite                                                           *)
