@@ -14,7 +14,8 @@ test:
 # scenarios x 5 lockstep engines (3 schedulers + arbitrary/sticky on
 # the incremental matching engine), every engine failure round
 # certified by an independent Hall-violator check.  Fixed seed, so the
-# pass is deterministic and CI-friendly.
+# pass is deterministic and CI-friendly.  The verdict carries a
+# one-line obs summary of the solver counters (vod_obs).
 check: build
 	dune build @fuzz
 

@@ -13,7 +13,9 @@
    Run with:            dune exec bench/main.exe
    Skip micro-benches:  dune exec bench/main.exe -- --no-micro
    Skip experiments:    dune exec bench/main.exe -- --quick
-   Emit bench records:  dune exec bench/main.exe -- --json BENCH_matching.json *)
+   Emit bench records:  dune exec bench/main.exe -- --json BENCH_matching.json
+   Observability:       dune exec bench/main.exe -- --obs  (record spans/metrics
+                        around the matching bench and print the summary) *)
 
 open Vod
 
@@ -121,6 +123,7 @@ let json_path () =
 let () =
   let no_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  let obs = Array.exists (fun a -> a = "--obs") Sys.argv in
   let json = json_path () in
   print_endline "Reproduction harness for:";
   print_endline
@@ -131,7 +134,25 @@ let () =
   else print_endline "(--quick: skipping the E1-E9 experiment tables)";
   if not no_micro then micro_benchmarks ();
   print_newline ();
+  (* Span recording around the matching bench distorts the ns/round
+     numbers it reports, so --obs is for attribution runs, not for
+     refreshing the committed baseline. *)
+  let recorder =
+    if obs then begin
+      Obs.Registry.reset Obs.Registry.default;
+      let r = Obs.Span.create_recorder () in
+      Obs.Span.install r;
+      Some r
+    end
+    else None
+  in
   let records = Bench_matching.run () in
+  (match recorder with
+  | None -> ()
+  | Some r ->
+      Obs.Span.uninstall ();
+      Obs.Report.print_summary (Obs.Report.of_recorder ~registry:Obs.Registry.default r);
+      print_newline ());
   Bench_matching.print_table records;
   (match json with
   | None -> ()

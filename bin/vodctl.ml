@@ -5,7 +5,8 @@
      allocate  build an allocation and report balance + adversarial audit
      simulate  drive a workload through the round engine
      attack    drive an adversarial generator and report the outcome
-     sweep     threshold sweep over the upload capacity u              *)
+     sweep     threshold sweep over the upload capacity u
+     obs-report  validate and summarise a vod-obs JSONL trace          *)
 
 open Cmdliner
 
@@ -228,8 +229,19 @@ let engine_arg =
            or $(b,incremental) (warm-start the solver with the previous round's \
            matching and repair only the delta).")
 
+(* Names of the solver counters worth a one-line summary after a run. *)
+let solver_counters =
+  [
+    "hk.augmenting_paths";
+    "dinic.augmenting_paths";
+    "pr.pushes";
+    "pr.relabels";
+    "matching.fallbacks";
+  ]
+
 let simulate_cmd =
-  let run n u d c k m mu duration rounds seed scheme workload rate engine csv load =
+  let run n u d c k m mu duration rounds seed scheme workload rate engine csv load
+      obs_out obs_summary =
     try
       let params, fleet, alloc =
         match load with
@@ -245,6 +257,16 @@ let simulate_cmd =
                 let params = Vod.Params.make ~n ~c ~mu ~duration in
                 let fleet = Vod.Box.Fleet.homogeneous ~n ~u ~d in
                 (params, fleet, alloc))
+      in
+      let recorder =
+        if obs_out <> None || obs_summary then begin
+          (* start the run from zero so the trace covers exactly this run *)
+          Vod.Obs.Registry.reset Vod.Obs.Registry.default;
+          let r = Vod.Obs.Span.create_recorder () in
+          Vod.Obs.Span.install r;
+          Some r
+        end
+        else None
       in
       let sim =
         Vod.Engine.create ~params ~fleet ~alloc ~policy:Vod.Engine.Continue
@@ -289,6 +311,18 @@ let simulate_cmd =
       | Some path ->
           Vod.Trace.save_csv trace ~path;
           Printf.printf "per-round trace written to %s\n" path);
+      (match recorder with
+      | None -> ()
+      | Some r ->
+          Vod.Obs.Span.uninstall ();
+          (match obs_out with
+          | None -> ()
+          | Some path ->
+              Vod.Obs.Export.save ~registry:Vod.Obs.Registry.default r ~path;
+              Printf.printf "observability trace written to %s\n" path);
+          if obs_summary then
+            Vod.Obs.Report.print_summary
+              (Vod.Obs.Report.of_recorder ~registry:Vod.Obs.Registry.default r));
       `Ok ()
     with
     | Invalid_argument e -> `Error (false, e)
@@ -308,13 +342,28 @@ let simulate_cmd =
           ~doc:"Load the allocation from FILE (written by allocate --save) instead of \
                 generating one; -n/-c/-k/-m/--scheme are then ignored.")
   in
+  let obs_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-out" ] ~docv:"FILE"
+          ~doc:"Record an observability trace (spans + metrics) and write it to FILE \
+                as JSONL; inspect it with $(b,vodctl obs-report).")
+  in
+  let obs_summary_arg =
+    Arg.(
+      value & flag
+      & info [ "obs-summary" ]
+          ~doc:"Record an observability trace and print the per-phase timing table \
+                and metric counters after the run.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a demand workload through the round engine.")
     Term.(
       ret
         (const run $ n_arg $ u_arg $ d_arg $ c_arg $ k_arg $ m_arg $ mu_arg
        $ duration_arg $ rounds_arg $ seed_arg $ scheme_arg $ workload_arg $ rate_arg
-       $ engine_arg $ csv_arg $ load_arg))
+       $ engine_arg $ csv_arg $ load_arg $ obs_out_arg $ obs_summary_arg))
 
 (* ------------------------------------------------------------------ *)
 (* attack                                                              *)
@@ -522,6 +571,9 @@ let check_cmd =
         Printf.printf
           "engine failure rounds with independently confirmed Hall certificates: %d\n"
           summary.Vod.Check.Fuzz.failure_rounds_certified;
+        Printf.printf "obs: %s\n"
+          (Vod.Obs.Report.one_line Vod.Obs.Registry.default
+             ~names:("fuzz.cases" :: "fuzz.shrink_steps" :: solver_counters));
         (match summary.Vod.Check.Fuzz.failures with
         | [] ->
             print_endline "verdict: all oracles agree";
@@ -578,6 +630,51 @@ let check_cmd =
       ret
         (const run $ seed_arg $ instances_arg $ scenarios_arg $ check_rounds_arg
        $ repro_dir_arg $ replay_arg))
+
+(* ------------------------------------------------------------------ *)
+(* obs-report                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let obs_report_cmd =
+  let run path validate =
+    match Vod.Obs.Report.load ~path with
+    | Error e -> `Error (false, Printf.sprintf "%s: %s" path e)
+    | Ok trace -> (
+        match Vod.Obs.Report.validate trace with
+        | Error e when validate -> `Error (false, Printf.sprintf "%s: INVALID: %s" path e)
+        | verdict ->
+            if validate then
+              Printf.printf "%s: valid (%d spans, %d counters, %d histograms)\n" path
+                (List.length trace.Vod.Obs.Report.spans)
+                (List.length trace.Vod.Obs.Report.counters)
+                (List.length trace.Vod.Obs.Report.hists)
+            else
+              (* surface structural problems even without --validate, but
+                 keep summarising: the table is still informative *)
+              (match verdict with
+              | Ok () -> ()
+              | Error e -> Printf.printf "warning: structural check failed: %s\n" e);
+            Vod.Obs.Report.print_summary trace;
+            `Ok ())
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace written by simulate --obs-out.")
+  in
+  let validate_arg =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:"Check the trace's structural invariants (unique span ids, stop >= \
+                start, parent containment, histogram totals) and fail on violation.")
+  in
+  Cmd.v
+    (Cmd.info "obs-report"
+       ~doc:"Validate and summarise an observability trace (JSONL from simulate \
+             --obs-out): per-phase timing table, counters, histograms.")
+    Term.(ret (const run $ file_arg $ validate_arg))
 
 (* ------------------------------------------------------------------ *)
 (* proto                                                               *)
@@ -648,5 +745,6 @@ let () =
             sweep_cmd;
             plan_cmd;
             check_cmd;
+            obs_report_cmd;
             proto_cmd;
           ]))

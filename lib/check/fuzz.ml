@@ -1,5 +1,10 @@
 open Vod_util
 
+(* Observability hooks (registered once; O(1) per event recorded). *)
+let obs_cases = Vod_obs.Registry.counter Vod_obs.Registry.default "fuzz.cases"
+let obs_shrinks = Vod_obs.Registry.counter Vod_obs.Registry.default "fuzz.shrink_steps"
+let obs_failures = Vod_obs.Registry.counter Vod_obs.Registry.default "fuzz.failures"
+
 type failure = {
   seed : int;
   index : int;
@@ -61,6 +66,7 @@ let shrink ~still_fails inst0 =
     match candidate () with
     | c when still_fails c ->
         current := c;
+        Vod_obs.Registry.incr obs_shrinks;
         true
     | _ -> false
     | exception Invalid_argument _ -> false
@@ -124,9 +130,11 @@ let run ?(seed = 42) ?(instances = 1000) ?(scenarios = 12) ?(rounds = 30) ?repro
   for index = 0 to instances - 1 do
     let g = Prng.jump_to_stream root index in
     let inst = Gen.instance g () in
+    Vod_obs.Registry.incr obs_cases;
     match Oracle.solver_agreement inst with
     | Ok _ -> ()
     | Error detail ->
+        Vod_obs.Registry.incr obs_failures;
         let still_fails i = Result.is_error (Oracle.solver_agreement i) in
         let minimal = shrink ~still_fails inst in
         let repro_path =
@@ -144,12 +152,14 @@ let run ?(seed = 42) ?(instances = 1000) ?(scenarios = 12) ?(rounds = 30) ?repro
   for index = 0 to scenarios - 1 do
     let g = Prng.jump_to_stream root (scenario_stream_base + index) in
     let sc = Gen.scenario g ~rounds () in
+    Vod_obs.Registry.incr obs_cases;
     match
       Oracle.scheduler_agreement ~params:sc.Gen.params ~fleet:sc.Gen.fleet
         ~alloc:sc.Gen.alloc ~rounds:sc.Gen.rounds ~script:sc.Gen.script ()
     with
     | Ok o -> certified := !certified + o.Oracle.certified_failure_rounds
     | Error detail ->
+        Vod_obs.Registry.incr obs_failures;
         failures :=
           {
             seed;

@@ -50,6 +50,13 @@ module Check = Vod_check
     ([Check.Certificate]), cross-solver and cross-scheduler oracles
     ([Check.Oracle]) and the seeded fuzz harness ([Check.Fuzz]). *)
 
+module Obs = Vod_obs
+(** The observability subsystem: metrics registry ([Obs.Registry]),
+    span tracing ([Obs.Span]), JSONL export ([Obs.Export]) and trace
+    loading/validation/summaries ([Obs.Report]).  Solvers and the
+    engine record into [Obs.Registry.default]; span recording is off
+    until a recorder is installed with [Obs.Span.install]. *)
+
 module Theorem1 = Vod_analysis.Theorem1
 module Theorem2 = Vod_analysis.Theorem2
 module Obstruction_bound = Vod_analysis.Obstruction_bound

@@ -285,6 +285,16 @@ let hall_violator t =
 (* ------------------------------------------------------------------ *)
 
 module Incremental = struct
+  (* Observability hooks (registered once; O(1) per event recorded). *)
+  let obs_reseated =
+    Vod_obs.Registry.counter Vod_obs.Registry.default "matching.seats_revalidated"
+  let obs_dirty = Vod_obs.Registry.counter Vod_obs.Registry.default "matching.dirty"
+  let obs_fallbacks =
+    Vod_obs.Registry.counter Vod_obs.Registry.default "matching.fallbacks"
+  let obs_repairs =
+    Vod_obs.Registry.counter Vod_obs.Registry.default "matching.incremental_solves"
+  let obs_repaired = Vod_obs.Registry.counter Vod_obs.Registry.default "matching.repaired"
+
   type stats = {
     rounds : int;
     full_solves : int;
@@ -379,35 +389,42 @@ module Incremental = struct
         invalid_arg "Bipartite.Incremental.solve: warm_start length mismatch"
     | _ -> ());
     let cleaned, seated =
-      match warm_start with
-      | None -> (Array.make t.n_left (-1), 0)
-      | Some ws -> validate_seats t ws
+      Vod_obs.Span.with_ ~name:"revalidate" (fun () ->
+          match warm_start with
+          | None -> (Array.make t.n_left (-1), 0)
+          | Some ws -> validate_seats t ws)
     in
     st.s_reseated <- st.s_reseated + seated;
+    Vod_obs.Registry.add obs_reseated seated;
     let dirty = t.n_left - seated in
+    Vod_obs.Registry.add obs_dirty dirty;
     if t.n_left > 0 && float_of_int dirty > st.fallback_threshold *. float_of_int t.n_left
     then begin
       st.s_full <- st.s_full + 1;
-      solve ~algorithm:st.algorithm t
+      Vod_obs.Registry.incr obs_fallbacks;
+      Vod_obs.Span.with_ ~name:"fallback" (fun () -> solve ~algorithm:st.algorithm t)
     end
     else begin
       st.s_incremental <- st.s_incremental + 1;
+      Vod_obs.Registry.incr obs_repairs;
       let outcome =
-        match st.algorithm with
-        | Hopcroft_karp_matching ->
-            let r =
-              Hopcroft_karp.solve ~warm_start:cleaned ~n_left:t.n_left
-                ~n_right:t.n_right ~adj:(adjacency t) ~right_cap:t.right_cap ()
-            in
-            {
-              matched = r.Hopcroft_karp.size;
-              assignment = r.assignment;
-              right_load = r.right_load;
-            }
-        | Dinic_flow -> solve_dinic_warm t cleaned
-        | Push_relabel_flow -> assert false
+        Vod_obs.Span.with_ ~name:"repair" (fun () ->
+            match st.algorithm with
+            | Hopcroft_karp_matching ->
+                let r =
+                  Hopcroft_karp.solve ~warm_start:cleaned ~n_left:t.n_left
+                    ~n_right:t.n_right ~adj:(adjacency t) ~right_cap:t.right_cap ()
+                in
+                {
+                  matched = r.Hopcroft_karp.size;
+                  assignment = r.assignment;
+                  right_load = r.right_load;
+                }
+            | Dinic_flow -> solve_dinic_warm t cleaned
+            | Push_relabel_flow -> assert false)
       in
       st.s_repaired <- st.s_repaired + (outcome.matched - seated);
+      Vod_obs.Registry.add obs_repaired (outcome.matched - seated);
       outcome
     end
 end

@@ -1,5 +1,10 @@
 module F = Flow_network
 
+(* Observability hooks (registered once; O(1) per event recorded). *)
+let obs_phases = Vod_obs.Registry.counter Vod_obs.Registry.default "dinic.bfs_phases"
+let obs_paths = Vod_obs.Registry.counter Vod_obs.Registry.default "dinic.augmenting_paths"
+let obs_path_len = Vod_obs.Registry.histogram Vod_obs.Registry.default "dinic.path_length"
+
 (* Assigns BFS levels over the residual graph; returns true when the sink
    is reachable. *)
 let bfs net ~src ~sink level =
@@ -59,12 +64,15 @@ let max_flow ?(limit = max_int) net ~src ~sink =
   in
   (try
      while !total < limit && bfs net ~src ~sink level do
+       Vod_obs.Registry.incr obs_phases;
+       Vod_obs.Registry.observe obs_path_len level.(sink);
        Array.fill it 0 n 0;
        let continue = ref true in
        while !continue do
          let pushed = dfs src (limit - !total) in
          if pushed = 0 then continue := false
          else begin
+           Vod_obs.Registry.incr obs_paths;
            total := !total + pushed;
            if !total >= limit then raise Exit
          end

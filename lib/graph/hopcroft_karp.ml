@@ -2,6 +2,11 @@ type result = { size : int; assignment : int array; right_load : int array }
 
 let infinity_dist = max_int
 
+(* Observability hooks (registered once; O(1) per event recorded). *)
+let obs_phases = Vod_obs.Registry.counter Vod_obs.Registry.default "hk.bfs_phases"
+let obs_paths = Vod_obs.Registry.counter Vod_obs.Registry.default "hk.augmenting_paths"
+let obs_path_len = Vod_obs.Registry.histogram Vod_obs.Registry.default "hk.path_length"
+
 (* Right vertices are expanded into unit "slots" (one per capacity unit),
    reducing the capacitated problem to textbook Hopcroft-Karp.  Slot ids
    for right [r] are [slot_start.(r) .. slot_start.(r+1) - 1]. *)
@@ -90,7 +95,10 @@ let solve ?warm_start ~n_left ~n_right ~adj ~right_cap () =
     done;
     !found
   in
-  let rec try_augment l =
+  (* depth of the frame that found a free slot, in left-vertex hops:
+     the augmenting path has [2 * depth + 1] edges *)
+  let found_depth = ref 0 in
+  let rec try_augment l depth =
     let success = ref false in
     let arcs = adj.(l) in
     let i = ref 0 in
@@ -99,7 +107,13 @@ let solve ?warm_start ~n_left ~n_right ~adj ~right_cap () =
       let s = ref slot_start.(r) in
       while (not !success) && !s < slot_start.(r + 1) do
         let owner = match_slot.(!s) in
-        if owner = -1 || (dist.(owner) = dist.(l) + 1 && try_augment owner) then begin
+        if
+          (if owner = -1 then begin
+             found_depth := depth;
+             true
+           end
+           else dist.(owner) = dist.(l) + 1 && try_augment owner (depth + 1))
+        then begin
           match_slot.(!s) <- l;
           match_left.(l) <- !s;
           success := true
@@ -112,8 +126,13 @@ let solve ?warm_start ~n_left ~n_right ~adj ~right_cap () =
     !success
   in
   while bfs () do
+    Vod_obs.Registry.incr obs_phases;
     for l = 0 to n_left - 1 do
-      if match_left.(l) = -1 && try_augment l then incr size
+      if match_left.(l) = -1 && try_augment l 0 then begin
+        incr size;
+        Vod_obs.Registry.incr obs_paths;
+        Vod_obs.Registry.observe obs_path_len ((2 * !found_depth) + 1)
+      end
     done
   done;
   let assignment = Array.map (fun s -> if s = -1 then -1 else slot_right.(s)) match_left in

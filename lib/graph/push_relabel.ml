@@ -1,5 +1,9 @@
 module F = Flow_network
 
+(* Observability hooks (registered once; O(1) per event recorded). *)
+let obs_pushes = Vod_obs.Registry.counter Vod_obs.Registry.default "pr.pushes"
+let obs_relabels = Vod_obs.Registry.counter Vod_obs.Registry.default "pr.relabels"
+
 let max_flow net ~src ~sink =
   let n = F.node_count net in
   if src < 0 || src >= n || sink < 0 || sink >= n then
@@ -42,6 +46,7 @@ let max_flow net ~src ~sink =
   let relabel v =
     (* Gap heuristic: if v's old height level empties, every node above it
        is unreachable from the sink and can jump to n+1. *)
+    Vod_obs.Registry.incr obs_relabels;
     let old_height = height.(v) in
     let min_height = ref ((2 * n) + 1) in
     Array.iter
@@ -71,6 +76,7 @@ let max_flow net ~src ~sink =
         let w = F.arc_dst net a in
         let r = F.residual net a in
         if r > 0 && height.(v) = height.(w) + 1 then begin
+          Vod_obs.Registry.incr obs_pushes;
           let delta = min excess.(v) r in
           F.push net a delta;
           excess.(v) <- excess.(v) - delta;

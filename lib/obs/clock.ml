@@ -1,0 +1,12 @@
+(* Wall-clock nanoseconds, clamped to be monotonic within the process.
+   [Unix.gettimeofday] is the only sub-second clock the stdlib + unix
+   pair offers on both 4.14 and 5.x without external packages; NTP can
+   step it backwards, which would produce negative span durations, so we
+   never let a reading go below the previous one. *)
+
+let last = ref 0
+
+let now_ns () =
+  let v = int_of_float (Unix.gettimeofday () *. 1e9) in
+  if v > !last then last := v;
+  !last

@@ -1,0 +1,6 @@
+(** Monotonic-within-the-process nanosecond clock used by spans. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since the Unix epoch, clamped so that successive calls
+    never decrease (defends span durations against clock steps).
+    Resolution is that of [Unix.gettimeofday], about a microsecond. *)

@@ -1,0 +1,19 @@
+(** JSONL serialisation of a recorded trace: one event per line — a
+    meta header, then completed spans in completion order, then a
+    snapshot of the metrics registry.  The inverse (parsing, structural
+    validation, summary tables) lives in {!Report}. *)
+
+val schema : string
+(** ["vod-obs/1"]. *)
+
+val meta_line : events:int -> dropped:int -> string
+val span_line : Span.event -> string
+val counter_line : string -> int -> string
+val gauge_line : string -> int -> string
+val hist_line : string -> Registry.hist_snapshot -> string
+
+val to_jsonl : ?registry:Registry.t -> Span.recorder -> string
+(** The full trace as JSONL; [registry]'s snapshot is appended when
+    given. *)
+
+val save : ?registry:Registry.t -> Span.recorder -> path:string -> unit

@@ -1,0 +1,121 @@
+(* Span-based tracing.
+
+   A span is a named, timed interval; spans nest (per round, per phase,
+   per solver stage) and completed spans are recorded into a bounded
+   ring buffer, oldest-first eviction.  Recording is off by default: the
+   no-op sink is a [None] in one global ref, so an un-installed
+   [with_ ~name f] costs a ref read and a branch on top of [f ()]. *)
+
+type event = {
+  id : int;
+  parent : int; (* -1 for a root span *)
+  name : string;
+  start_ns : int;
+  stop_ns : int;
+  attrs : (string * string) list;
+}
+
+type frame = {
+  f_id : int;
+  f_name : string;
+  f_parent : int;
+  f_start : int;
+  mutable f_attrs : (string * string) list;
+}
+
+type recorder = {
+  capacity : int;
+  ring : event array;
+  mutable total : int; (* events ever recorded *)
+  mutable next_id : int;
+  mutable open_frames : frame list; (* innermost first *)
+}
+
+let dummy_event = { id = -1; parent = -1; name = ""; start_ns = 0; stop_ns = 0; attrs = [] }
+
+let create_recorder ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Span.create_recorder: capacity must be positive";
+  { capacity; ring = Array.make capacity dummy_event; total = 0; next_id = 0; open_frames = [] }
+
+let record r e =
+  r.ring.(r.total mod r.capacity) <- e;
+  r.total <- r.total + 1
+
+let recorded r = min r.total r.capacity
+let dropped r = max 0 (r.total - r.capacity)
+
+(* Completed events, oldest first (completion order). *)
+let events r =
+  let k = recorded r in
+  let first = r.total - k in
+  List.init k (fun i -> r.ring.((first + i) mod r.capacity))
+
+let clear r =
+  r.total <- 0;
+  r.next_id <- 0;
+  r.open_frames <- []
+
+(* The sink: [None] is the no-op sink, [Some r] records into [r]. *)
+let current : recorder option ref = ref None
+
+let install r = current := Some r
+let uninstall () = current := None
+let installed () = !current
+
+let set_attr key value =
+  match !current with
+  | None -> ()
+  | Some r -> (
+      match r.open_frames with
+      | [] -> ()
+      | f :: _ -> f.f_attrs <- (key, value) :: List.remove_assoc key f.f_attrs)
+
+let with_ ?(attrs = []) ~name f =
+  match !current with
+  | None -> f ()
+  | Some r ->
+      let id = r.next_id in
+      r.next_id <- id + 1;
+      let parent = match r.open_frames with [] -> -1 | p :: _ -> p.f_id in
+      let frame =
+        { f_id = id; f_name = name; f_parent = parent; f_start = Clock.now_ns (); f_attrs = attrs }
+      in
+      r.open_frames <- frame :: r.open_frames;
+      let finish () =
+        let stop_ns = Clock.now_ns () in
+        (match r.open_frames with
+        | f :: rest when f == frame -> r.open_frames <- rest
+        | _ ->
+            (* a span escaped its dynamic extent (effects, callcc-style
+               control flow): drop every frame down to ours so nesting
+               stays well-formed *)
+            let rec pop = function
+              | f :: rest when f == frame -> rest
+              | _ :: rest -> pop rest
+              | [] -> []
+            in
+            r.open_frames <- pop r.open_frames);
+        record r
+          {
+            id;
+            parent;
+            name;
+            start_ns = frame.f_start;
+            stop_ns;
+            attrs = List.rev frame.f_attrs;
+          }
+      in
+      (match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          finish ();
+          raise e)
+
+(* Low-level emission for tests, tools and synthetic traces. *)
+let emit r ?(parent = -1) ?(attrs = []) ~name ~start_ns ~stop_ns () =
+  let id = r.next_id in
+  r.next_id <- id + 1;
+  record r { id; parent; name; start_ns; stop_ns = max start_ns stop_ns; attrs };
+  id

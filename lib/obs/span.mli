@@ -1,0 +1,64 @@
+(** Span-based tracing: named, timed, nested intervals recorded into a
+    bounded ring buffer.
+
+    The global sink is the no-op by default: with no recorder installed,
+    {!with_} costs a ref read and a branch on top of the wrapped call,
+    so instrumentation can stay in hot paths permanently.  Installing a
+    recorder ({!install}) turns every subsequent {!with_} into a
+    completed {!event} (recorded at span stop, oldest evicted first once
+    the ring is full). *)
+
+type event = {
+  id : int;  (** Unique within a recorder, assigned at span start. *)
+  parent : int;  (** Enclosing span's id, or -1 for a root span. *)
+  name : string;
+  start_ns : int;
+  stop_ns : int;  (** [>= start_ns]. *)
+  attrs : (string * string) list;
+}
+
+type recorder
+
+val create_recorder : ?capacity:int -> unit -> recorder
+(** Ring capacity defaults to 65536 completed events.
+    @raise Invalid_argument on a non-positive capacity. *)
+
+val install : recorder -> unit
+(** Route subsequent {!with_} calls into the recorder. *)
+
+val uninstall : unit -> unit
+(** Back to the no-op sink. *)
+
+val installed : unit -> recorder option
+
+val with_ : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+(** [with_ ~name f] runs [f] inside a span.  The span nests under the
+    innermost currently open span, and is recorded when [f] returns or
+    raises (the exception is re-raised).  With the no-op sink installed
+    this is just [f ()]. *)
+
+val set_attr : string -> string -> unit
+(** Attach (or overwrite) an attribute on the innermost open span; a
+    no-op when nothing is open or recording is off.  Lets a phase tag
+    its span with results computed during the phase. *)
+
+val events : recorder -> event list
+(** Completed spans surviving in the ring, oldest first. *)
+
+val recorded : recorder -> int
+val dropped : recorder -> int
+(** Events evicted by ring overflow. *)
+
+val clear : recorder -> unit
+
+val emit :
+  recorder ->
+  ?parent:int ->
+  ?attrs:(string * string) list ->
+  name:string ->
+  start_ns:int ->
+  stop_ns:int ->
+  unit ->
+  int
+(** Record a synthetic completed span directly (tests, trace tooling);
+    returns the assigned id.  [stop_ns] is clamped to [>= start_ns]. *)

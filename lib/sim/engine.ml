@@ -1,6 +1,12 @@
 open Vod_util
 open Vod_model
 
+(* Observability hooks (registered once; O(1) per event recorded). *)
+let obs_rounds = Vod_obs.Registry.counter Vod_obs.Registry.default "engine.rounds"
+let obs_demands = Vod_obs.Registry.counter Vod_obs.Registry.default "engine.demands"
+let obs_unserved = Vod_obs.Registry.counter Vod_obs.Registry.default "engine.unserved"
+let obs_active = Vod_obs.Registry.gauge Vod_obs.Registry.default "engine.active_requests"
+
 type kind = Preload | Postponed | Relayed_preload | Relayed_postponed
 
 type request = {
@@ -367,55 +373,71 @@ let set_online t box online =
   t.online.(box) <- online
 
 let step t =
+  Vod_obs.Span.with_ ~name:"round" @@ fun () ->
   let time = t.now + 1 in
   t.now <- time;
-  (* 1. Turn pending user demands into scheduled requests. *)
-  let new_demands = Vec.length t.pending in
-  Vec.iter (fun (box, video) -> emit_requests t ~box ~video ~time) t.pending;
-  Vec.clear t.pending;
-  (* 2. Activate requests scheduled for this round. *)
-  (match Hashtbl.find_opt t.scheduled time with
-  | None -> ()
-  | Some batch ->
-      Vec.iter
-        (fun req ->
-          Vec.push t.active req;
-          Vec.push (recent_for t req.stripe) req)
-        batch;
-      Hashtbl.remove t.scheduled time);
-  (* 3. Retire completed requests and prune stale cache entries. *)
-  let still_active = Vec.to_list t.active |> List.filter (fun r -> r.progress < t.params.Params.duration) in
-  Vec.clear t.active;
-  List.iter (Vec.push t.active) still_active;
-  prune_recent t;
+  Vod_obs.Registry.incr obs_rounds;
+  let new_demands =
+    Vod_obs.Span.with_ ~name:"demand-admit" @@ fun () ->
+    (* 1. Turn pending user demands into scheduled requests. *)
+    let new_demands = Vec.length t.pending in
+    Vec.iter (fun (box, video) -> emit_requests t ~box ~video ~time) t.pending;
+    Vec.clear t.pending;
+    (* 2. Activate requests scheduled for this round. *)
+    (match Hashtbl.find_opt t.scheduled time with
+    | None -> ()
+    | Some batch ->
+        Vec.iter
+          (fun req ->
+            Vec.push t.active req;
+            Vec.push (recent_for t req.stripe) req)
+          batch;
+        Hashtbl.remove t.scheduled time);
+    (* 3. Retire completed requests and prune stale cache entries. *)
+    let still_active =
+      Vec.to_list t.active |> List.filter (fun r -> r.progress < t.params.Params.duration)
+    in
+    Vec.clear t.active;
+    List.iter (Vec.push t.active) still_active;
+    prune_recent t;
+    new_demands
+  in
+  Vod_obs.Registry.add obs_demands new_demands;
   (* 4. Build the connection-matching instance (Section 2.2). *)
-  let requests = Vec.to_array t.active in
+  let requests, instance =
+    Vod_obs.Span.with_ ~name:"build" @@ fun () ->
+    let requests = Vec.to_array t.active in
+    let n_left = Array.length requests in
+    let n = t.params.Params.n in
+    let right_cap =
+      Array.mapi (fun b cap -> if t.online.(b) then cap else 0) t.capacity
+    in
+    let instance = Vod_graph.Bipartite.create ~n_left ~n_right:n ~right_cap in
+    Array.iteri
+      (fun l req ->
+        Array.iter
+          (fun b ->
+            if t.online.(b) then Vod_graph.Bipartite.add_edge instance ~left:l ~right:b)
+          (Allocation.boxes_of_stripe t.alloc req.stripe);
+        Vec.iter
+          (fun candidate ->
+            if
+              candidate.issued_at < req.issued_at
+              && candidate.progress > req.progress
+            then
+              List.iter
+                (fun b ->
+                  if t.online.(b) then
+                    Vod_graph.Bipartite.add_edge instance ~left:l ~right:b)
+                (cachers candidate))
+          (recent_for t req.stripe))
+      requests;
+    t.last_instance <- Some instance;
+    (requests, instance)
+  in
   let n_left = Array.length requests in
   let n = t.params.Params.n in
-  let right_cap =
-    Array.mapi (fun b cap -> if t.online.(b) then cap else 0) t.capacity
-  in
-  let instance = Vod_graph.Bipartite.create ~n_left ~n_right:n ~right_cap in
-  Array.iteri
-    (fun l req ->
-      Array.iter
-        (fun b ->
-          if t.online.(b) then Vod_graph.Bipartite.add_edge instance ~left:l ~right:b)
-        (Allocation.boxes_of_stripe t.alloc req.stripe);
-      Vec.iter
-        (fun candidate ->
-          if
-            candidate.issued_at < req.issued_at
-            && candidate.progress > req.progress
-          then
-            List.iter
-              (fun b ->
-                if t.online.(b) then
-                  Vod_graph.Bipartite.add_edge instance ~left:l ~right:b)
-              (cachers candidate))
-        (recent_for t req.stripe))
-    requests;
-  t.last_instance <- Some instance;
+  Vod_obs.Registry.set obs_active n_left;
   (* Warm start for the incremental matcher: each surviving request
      still carries its previous server, so [last_server] is exactly the
      previous matching projected through the round's delta (arrivals
@@ -425,6 +447,7 @@ let step t =
     Array.map (fun req -> req.last_server) requests
   in
   let outcome =
+    Vod_obs.Span.with_ ~name:"matching" @@ fun () ->
     match t.scheduler with
     | Arbitrary -> (
         match t.inc_state with
@@ -473,39 +496,42 @@ let step t =
         let cost ~left:_ ~right = t.cumulative_loads.(right) in
         Vod_graph.Bipartite.solve_min_cost instance ~edge_cost:cost
   in
-  t.last_loads <- Array.copy outcome.Vod_graph.Bipartite.right_load;
-  Array.iteri
-    (fun b load -> t.cumulative_loads.(b) <- t.cumulative_loads.(b) + load)
-    outcome.Vod_graph.Bipartite.right_load;
-  (* 5. Progress the served requests and account cache vs allocation. *)
-  let served_from_cache = ref 0 and rewired = ref 0 and cross_group = ref 0 in
-  Array.iteri
-    (fun l req ->
-      let server = outcome.Vod_graph.Bipartite.assignment.(l) in
-      if server >= 0 then begin
-        if not (Allocation.possesses t.alloc ~box:server ~stripe:req.stripe) then
-          incr served_from_cache;
-        if req.last_server >= 0 && req.last_server <> server then incr rewired;
-        (match t.topology with
-        | Some topo -> if not (Topology.same_group topo req.owner server) then incr cross_group
-        | None -> ());
-        req.last_server <- server;
-        if req.progress = 0 then begin
-          (* first byte of this stripe: one fewer stream to wait for *)
-          t.awaiting_first.(req.owner) <- t.awaiting_first.(req.owner) - 1;
-          if t.awaiting_first.(req.owner) = 0 then
-            Vec.push t.startups (time - t.demand_round.(req.owner))
-        end;
-        req.progress <- req.progress + 1
-      end)
-    requests;
-  let unserved = n_left - outcome.Vod_graph.Bipartite.matched in
-  if unserved > 0 then t.last_violator <- Vod_graph.Bipartite.hall_violator instance;
-  let busy = ref 0 in
-  for b = 0 to n - 1 do
-    if not (is_idle t b) then incr busy
-  done;
   let report =
+    Vod_obs.Span.with_ ~name:"account" @@ fun () ->
+    t.last_loads <- Array.copy outcome.Vod_graph.Bipartite.right_load;
+    Array.iteri
+      (fun b load -> t.cumulative_loads.(b) <- t.cumulative_loads.(b) + load)
+      outcome.Vod_graph.Bipartite.right_load;
+    (* 5. Progress the served requests and account cache vs allocation. *)
+    let served_from_cache = ref 0 and rewired = ref 0 and cross_group = ref 0 in
+    Array.iteri
+      (fun l req ->
+        let server = outcome.Vod_graph.Bipartite.assignment.(l) in
+        if server >= 0 then begin
+          if not (Allocation.possesses t.alloc ~box:server ~stripe:req.stripe) then
+            incr served_from_cache;
+          if req.last_server >= 0 && req.last_server <> server then incr rewired;
+          (match t.topology with
+          | Some topo ->
+              if not (Topology.same_group topo req.owner server) then incr cross_group
+          | None -> ());
+          req.last_server <- server;
+          if req.progress = 0 then begin
+            (* first byte of this stripe: one fewer stream to wait for *)
+            t.awaiting_first.(req.owner) <- t.awaiting_first.(req.owner) - 1;
+            if t.awaiting_first.(req.owner) = 0 then
+              Vec.push t.startups (time - t.demand_round.(req.owner))
+          end;
+          req.progress <- req.progress + 1
+        end)
+      requests;
+    let unserved = n_left - outcome.Vod_graph.Bipartite.matched in
+    Vod_obs.Registry.add obs_unserved unserved;
+    if unserved > 0 then t.last_violator <- Vod_graph.Bipartite.hall_violator instance;
+    let busy = ref 0 in
+    for b = 0 to n - 1 do
+      if not (is_idle t b) then incr busy
+    done;
     {
       time;
       new_demands;
@@ -518,8 +544,29 @@ let step t =
       busy_boxes = !busy;
     }
   in
-  if unserved > 0 && t.policy = Fail_fast then raise (Defeated report);
+  if report.unserved > 0 && t.policy = Fail_fast then raise (Defeated report);
   report
+
+(* Single source of truth for the report's scalar fields: Trace.to_csv
+   and pp_report derive their column order from this list, so adding a
+   field here is the whole change. *)
+let report_fields : (string * (round_report -> int)) list =
+  [
+    ("time", fun r -> r.time);
+    ("new_demands", fun r -> r.new_demands);
+    ("active_requests", fun r -> r.active_requests);
+    ("served", fun r -> r.served);
+    ("unserved", fun r -> r.unserved);
+    ("served_from_cache", fun r -> r.served_from_cache);
+    ("rewired", fun r -> r.rewired);
+    ("cross_group", fun r -> r.cross_group);
+    ("busy_boxes", fun r -> r.busy_boxes);
+  ]
+
+let pp_report fmt r =
+  Format.fprintf fmt "{%s}"
+    (String.concat "; "
+       (List.map (fun (name, get) -> Printf.sprintf "%s=%d" name (get r)) report_fields))
 
 let run t ~rounds ~demands_for =
   let reports = ref [] in

@@ -109,6 +109,16 @@ type round_report = {
 
 exception Defeated of round_report
 
+val report_fields : (string * (round_report -> int)) list
+(** The report's scalar fields, in canonical order, each with an
+    accessor — the single source of truth from which {!Trace.to_csv}
+    derives its header and rows and {!pp_report} its output.  Adding a
+    field to {!round_report} only requires extending this list. *)
+
+val pp_report : Format.formatter -> round_report -> unit
+(** Renders a report as [{time=3; new_demands=2; ...}] following
+    {!report_fields}. *)
+
 type t
 
 val create :

@@ -16,8 +16,9 @@ val run : t -> Engine.t -> rounds:int -> demands_for:(Engine.t -> int -> (int * 
 (** Drive the engine while recording every report into the trace. *)
 
 val to_csv : t -> string
-(** Header line then one line per round:
-    [time,new_demands,active_requests,served,unserved,served_from_cache,rewired,cross_group,busy_boxes]. *)
+(** Header line then one line per round; columns follow
+    {!Engine.report_fields} (currently
+    [time,new_demands,active_requests,served,unserved,served_from_cache,rewired,cross_group,busy_boxes]). *)
 
 val save_csv : t -> path:string -> unit
 

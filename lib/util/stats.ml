@@ -50,6 +50,16 @@ let percentile xs p =
     let frac = rank -. float_of_int lo in
     (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
 
+let percentile_nearest_rank xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile_nearest_rank: empty";
+  if p < 0.0 || p > 100.0 then
+    invalid_arg "Stats.percentile_nearest_rank: p outside [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  sorted.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+
 let median xs = percentile xs 50.0
 
 module Histogram = struct

@@ -30,6 +30,14 @@ val percentile : float array -> float -> float
     order statistics.  The input is copied and sorted.
     @raise Invalid_argument on empty input or [p] outside [0,100]. *)
 
+val percentile_nearest_rank : float array -> float -> float
+(** [percentile_nearest_rank xs p] is the nearest-rank percentile: the
+    smallest observation such that at least [ceil (p/100 * n)]
+    observations are [<=] it.  Unlike {!percentile} it always returns a
+    value actually observed — the right estimator for latency tables
+    built from span durations.  The input is copied and sorted.
+    @raise Invalid_argument on empty input or [p] outside [0,100]. *)
+
 val median : float array -> float
 
 (** Fixed-width histogram over a closed range. *)

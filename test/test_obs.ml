@@ -1,0 +1,350 @@
+(* Tests for the observability subsystem (lib/obs): metrics registry,
+   span recording, JSONL export/parse round-trip and trace validation. *)
+
+open Vod_util
+module Registry = Vod_obs.Registry
+module Span = Vod_obs.Span
+module Export = Vod_obs.Export
+module Report = Vod_obs.Report
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+let checks = Alcotest.check Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_basics () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "a" in
+  Registry.incr c;
+  Registry.add c 4;
+  checki "value" 5 (Registry.counter_value c);
+  checks "name" "a" (Registry.counter_name c);
+  (* find-or-create: the same name yields the same cell *)
+  Registry.incr (Registry.counter reg "a");
+  checki "shared handle" 6 (Registry.counter_value c);
+  (* separate namespaces *)
+  let g = Registry.gauge reg "a" in
+  Registry.set g 42;
+  checki "counter unaffected by gauge" 6 (Registry.counter_value c);
+  checki "gauge" 42 (Registry.gauge_value g)
+
+let test_reset_keeps_handles () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "c" in
+  let h = Registry.histogram reg "h" in
+  Registry.add c 7;
+  Registry.observe h 9;
+  Registry.reset reg;
+  checki "counter zeroed" 0 (Registry.counter_value c);
+  checki "hist zeroed" 0 (Registry.hist_count h);
+  (* the old handle still records into the registry *)
+  Registry.incr c;
+  checki "handle live after reset" 1 (Registry.counter_value (Registry.counter reg "c"))
+
+let test_bucket_of () =
+  checki "0" 0 (Registry.bucket_of 0);
+  checki "1" 0 (Registry.bucket_of 1);
+  checki "2" 1 (Registry.bucket_of 2);
+  checki "3" 1 (Registry.bucket_of 3);
+  checki "4" 2 (Registry.bucket_of 4);
+  checki "1023" 9 (Registry.bucket_of 1023);
+  checki "1024" 10 (Registry.bucket_of 1024);
+  (* max_int = 2^62 - 1 on 64-bit: top bit is 2^61 *)
+  checki "max_int" 61 (Registry.bucket_of max_int)
+
+let test_histogram_observe () =
+  let reg = Registry.create () in
+  let h = Registry.histogram reg "h" in
+  List.iter (Registry.observe h) [ 1; 2; 5; -3 ];
+  checki "count" 4 (Registry.hist_count h);
+  checki "sum (negatives clamp to 0)" 8 (Registry.hist_sum h);
+  let counts = Registry.hist_counts h in
+  checki "bucket 0" 2 counts.(0);
+  checki "bucket 1" 1 counts.(1);
+  checki "bucket 2" 1 counts.(2)
+
+let test_hist_percentile () =
+  let reg = Registry.create () in
+  let h = Registry.histogram reg "h" in
+  checkf "empty" 0.0 (Registry.hist_percentile h 50.0);
+  for _ = 1 to 9 do
+    Registry.observe h 1
+  done;
+  Registry.observe h 1000;
+  (* ranks 1..9 land in bucket 0 (reported as 1.0), rank 10 in 2^9 *)
+  checkf "p50" 1.0 (Registry.hist_percentile h 50.0);
+  checkf "p90" 1.0 (Registry.hist_percentile h 90.0);
+  checkf "p100" (1.5 *. 512.0) (Registry.hist_percentile h 100.0);
+  Alcotest.check_raises "bad p"
+    (Invalid_argument "Registry.hist_percentile: p outside [0,100]") (fun () ->
+      ignore (Registry.hist_percentile h 101.0))
+
+let test_snapshot_sorted () =
+  let reg = Registry.create () in
+  Registry.add (Registry.counter reg "z") 1;
+  Registry.add (Registry.counter reg "a") 2;
+  Registry.add (Registry.counter reg "m") 3;
+  let s = Registry.snapshot reg in
+  checkb "name-sorted" true
+    (s.Registry.s_counters = [ ("a", 2); ("m", 3); ("z", 1) ])
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [f] with a fresh recorder installed; always restores the no-op
+   sink so a failing test cannot leak recording into later ones. *)
+let with_recorder ?capacity f =
+  let r = Span.create_recorder ?capacity () in
+  Span.install r;
+  Fun.protect ~finally:Span.uninstall (fun () -> f r)
+
+let test_span_nesting () =
+  with_recorder (fun r ->
+      Span.with_ ~name:"outer" (fun () ->
+          Span.with_ ~name:"inner" (fun () -> ());
+          Span.with_ ~name:"inner2" (fun () -> ()));
+      let events = Span.events r in
+      checki "three spans" 3 (List.length events);
+      (* completion order: children close before their parent *)
+      let names = List.map (fun e -> e.Span.name) events in
+      checkb "order" true (names = [ "inner"; "inner2"; "outer" ]);
+      let outer = List.nth events 2 in
+      List.iter
+        (fun e ->
+          if e.Span.name <> "outer" then begin
+            checki (e.Span.name ^ " parent") outer.Span.id e.Span.parent;
+            checkb (e.Span.name ^ " contained") true
+              (outer.Span.start_ns <= e.Span.start_ns
+              && e.Span.stop_ns <= outer.Span.stop_ns)
+          end)
+        events)
+
+let test_span_exception_closes () =
+  with_recorder (fun r ->
+      (try Span.with_ ~name:"boom" (fun () -> failwith "x") with Failure _ -> ());
+      checki "span recorded despite raise" 1 (List.length (Span.events r));
+      (* the frame stack is clean: the next span is a root again *)
+      Span.with_ ~name:"after" (fun () -> ());
+      let after = List.nth (Span.events r) 1 in
+      checki "root parent" (-1) after.Span.parent)
+
+let test_span_ring_eviction () =
+  with_recorder ~capacity:4 (fun r ->
+      for i = 1 to 10 do
+        Span.with_ ~name:(string_of_int i) (fun () -> ())
+      done;
+      checki "surviving in ring" 4 (Span.recorded r);
+      checki "dropped" 6 (Span.dropped r);
+      let names = List.map (fun e -> e.Span.name) (Span.events r) in
+      checkb "oldest evicted first" true (names = [ "7"; "8"; "9"; "10" ]))
+
+let test_noop_sink () =
+  Span.uninstall ();
+  checkb "nothing installed" true (Span.installed () = None);
+  (* must be a plain call-through, including attrs *)
+  checki "value passes through" 7
+    (Span.with_ ~name:"x" (fun () ->
+         Span.set_attr "k" "v";
+         7))
+
+(* ------------------------------------------------------------------ *)
+(* Golden JSONL round-trip                                             *)
+(* ------------------------------------------------------------------ *)
+
+let golden_lines =
+  [
+    "{\"type\":\"meta\",\"schema\":\"vod-obs/1\",\"events\":2,\"dropped\":0}";
+    "{\"type\":\"span\",\"id\":0,\"parent\":-1,\"name\":\"round\",\"start_ns\":100,\"stop_ns\":200,\"attrs\":{}}";
+    "{\"type\":\"span\",\"id\":1,\"parent\":0,\"name\":\"matching\",\"start_ns\":110,\"stop_ns\":190,\"attrs\":{\"served\":\"17\"}}";
+    "{\"type\":\"counter\",\"name\":\"engine.rounds\",\"value\":1}";
+    "{\"type\":\"gauge\",\"name\":\"engine.active_requests\",\"value\":12}";
+    "{\"type\":\"hist\",\"name\":\"hk.path_length\",\"count\":3,\"sum\":8,\"buckets\":[[0,1],[1,1],[2,1]]}";
+  ]
+
+let golden_registry () =
+  let reg = Registry.create () in
+  Registry.incr (Registry.counter reg "engine.rounds");
+  Registry.set (Registry.gauge reg "engine.active_requests") 12;
+  let h = Registry.histogram reg "hk.path_length" in
+  List.iter (Registry.observe h) [ 1; 2; 5 ];
+  reg
+
+let test_export_golden () =
+  let r = Span.create_recorder () in
+  let root = Span.emit r ~name:"round" ~start_ns:100 ~stop_ns:200 () in
+  let _ =
+    Span.emit r ~parent:root
+      ~attrs:[ ("served", "17") ]
+      ~name:"matching" ~start_ns:110 ~stop_ns:190 ()
+  in
+  let jsonl = Export.to_jsonl ~registry:(golden_registry ()) r in
+  checks "exact JSONL" (String.concat "\n" golden_lines ^ "\n") jsonl
+
+let test_roundtrip_golden () =
+  let jsonl = String.concat "\n" golden_lines ^ "\n" in
+  match Report.of_string jsonl with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok trace -> (
+      (match Report.validate trace with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "validate: %s" e);
+      checki "spans" 2 (List.length trace.Report.spans);
+      checki "dropped" 0 trace.Report.dropped;
+      checkb "counters" true (trace.Report.counters = [ ("engine.rounds", 1) ]);
+      checkb "gauges" true (trace.Report.gauges = [ ("engine.active_requests", 12) ]);
+      (match trace.Report.hists with
+      | [ ("hk.path_length", h) ] ->
+          checki "hist count" 3 h.Report.count;
+          checki "hist sum" 8 h.Report.sum;
+          checkb "hist buckets" true (h.Report.buckets = [ (0, 1); (1, 1); (2, 1) ])
+      | _ -> Alcotest.fail "expected one histogram");
+      match trace.Report.spans with
+      | [ root; child ] ->
+          checks "root name" "round" root.Span.name;
+          checki "child parent" root.Span.id child.Span.parent;
+          checkb "child attrs" true (child.Span.attrs = [ ("served", "17") ])
+      | _ -> Alcotest.fail "expected two spans")
+
+let test_validate_rejects_bad_traces () =
+  let reject ~why lines =
+    match Report.of_string (String.concat "\n" lines ^ "\n") with
+    | Error _ -> ()
+    | Ok trace -> (
+        match Report.validate trace with
+        | Error _ -> ()
+        | Ok () -> Alcotest.failf "validate accepted a trace with %s" why)
+  in
+  reject ~why:"duplicate ids"
+    [
+      "{\"type\":\"meta\",\"schema\":\"vod-obs/1\",\"events\":2,\"dropped\":0}";
+      "{\"type\":\"span\",\"id\":0,\"parent\":-1,\"name\":\"a\",\"start_ns\":0,\"stop_ns\":5,\"attrs\":{}}";
+      "{\"type\":\"span\",\"id\":0,\"parent\":-1,\"name\":\"b\",\"start_ns\":0,\"stop_ns\":5,\"attrs\":{}}";
+    ];
+  reject ~why:"stop < start"
+    [
+      "{\"type\":\"meta\",\"schema\":\"vod-obs/1\",\"events\":1,\"dropped\":0}";
+      "{\"type\":\"span\",\"id\":0,\"parent\":-1,\"name\":\"a\",\"start_ns\":9,\"stop_ns\":5,\"attrs\":{}}";
+    ];
+  reject ~why:"a child escaping its parent's interval"
+    [
+      "{\"type\":\"meta\",\"schema\":\"vod-obs/1\",\"events\":2,\"dropped\":0}";
+      "{\"type\":\"span\",\"id\":0,\"parent\":-1,\"name\":\"a\",\"start_ns\":0,\"stop_ns\":5,\"attrs\":{}}";
+      "{\"type\":\"span\",\"id\":1,\"parent\":0,\"name\":\"b\",\"start_ns\":3,\"stop_ns\":9,\"attrs\":{}}";
+    ];
+  reject ~why:"a missing parent in a lossless trace"
+    [
+      "{\"type\":\"meta\",\"schema\":\"vod-obs/1\",\"events\":1,\"dropped\":0}";
+      "{\"type\":\"span\",\"id\":5,\"parent\":3,\"name\":\"a\",\"start_ns\":0,\"stop_ns\":5,\"attrs\":{}}";
+    ];
+  reject ~why:"histogram buckets not summing to count"
+    [
+      "{\"type\":\"meta\",\"schema\":\"vod-obs/1\",\"events\":0,\"dropped\":0}";
+      "{\"type\":\"hist\",\"name\":\"h\",\"count\":5,\"sum\":9,\"buckets\":[[0,1],[1,1]]}";
+    ]
+
+let test_summarise_phases () =
+  let r = Span.create_recorder () in
+  (* two rounds of 100ns, each with phases covering 90ns *)
+  List.iter
+    (fun base ->
+      let round = Span.emit r ~name:"round" ~start_ns:base ~stop_ns:(base + 100) () in
+      let m =
+        Span.emit r ~parent:round ~name:"matching" ~start_ns:base ~stop_ns:(base + 70) ()
+      in
+      let _ =
+        Span.emit r ~parent:m ~name:"repair" ~start_ns:base ~stop_ns:(base + 30) ()
+      in
+      ignore
+        (Span.emit r ~parent:round ~name:"build" ~start_ns:(base + 70)
+           ~stop_ns:(base + 90) ()))
+    [ 0; 1000 ];
+  let summary = Report.summarise (Report.of_recorder r) in
+  checki "rounds" 2 summary.Report.rounds;
+  checkf "round total" 200.0 summary.Report.round_total_ns;
+  (* direct children cover (70 + 20) * 2 = 180 of 200 ns *)
+  checkf "coverage" 0.9 summary.Report.top_level_coverage;
+  let row name =
+    List.find (fun (row : Report.phase_row) -> row.Report.name = name)
+      summary.Report.rows
+  in
+  checki "matching depth" 1 (row "matching").Report.depth;
+  checki "repair depth" 2 (row "repair").Report.depth;
+  checkf "matching total" 140.0 (row "matching").Report.total_ns;
+  checkf "repair share" 0.3 (row "repair").Report.share
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~name:"histogram merge preserves count and sum" ~count:200
+      (pair (list (int_bound 100_000)) (list (int_bound 100_000)))
+      (fun (xs, ys) ->
+        let reg = Registry.create () in
+        let a = Registry.histogram reg "a" and b = Registry.histogram reg "b" in
+        List.iter (Registry.observe a) xs;
+        List.iter (Registry.observe b) ys;
+        let count_a = Registry.hist_count a and sum_a = Registry.hist_sum a in
+        Registry.merge ~into:a b;
+        Registry.hist_count a = count_a + Registry.hist_count b
+        && Registry.hist_sum a = sum_a + Registry.hist_sum b
+        && Array.for_all (fun c -> c >= 0) (Registry.hist_counts a));
+    Test.make ~name:"random span trees validate" ~count:100
+      (int_range 0 1_000_000)
+      (fun seed ->
+        let g = Prng.create ~seed () in
+        let total = ref 0 in
+        let r = Span.create_recorder () in
+        Span.install r;
+        Fun.protect ~finally:Span.uninstall (fun () ->
+            let rec grow depth =
+              Span.with_ ~name:(Printf.sprintf "d%d" depth) (fun () ->
+                  incr total;
+                  if depth < 4 then
+                    for _ = 1 to Prng.int g 3 do
+                      grow (depth + 1)
+                    done)
+            in
+            for _ = 1 to 1 + Prng.int g 4 do
+              grow 0
+            done);
+        let trace = Report.of_recorder r in
+        List.length trace.Report.spans = !total
+        && Result.is_ok (Report.validate trace));
+  ]
+
+let suites =
+  [
+    ( "obs.registry",
+      [
+        Alcotest.test_case "counter and gauge" `Quick test_counter_basics;
+        Alcotest.test_case "reset keeps handles" `Quick test_reset_keeps_handles;
+        Alcotest.test_case "bucket_of" `Quick test_bucket_of;
+        Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+        Alcotest.test_case "hist percentile" `Quick test_hist_percentile;
+        Alcotest.test_case "snapshot sorted" `Quick test_snapshot_sorted;
+      ] );
+    ( "obs.span",
+      [
+        Alcotest.test_case "nesting" `Quick test_span_nesting;
+        Alcotest.test_case "exception closes span" `Quick test_span_exception_closes;
+        Alcotest.test_case "ring eviction" `Quick test_span_ring_eviction;
+        Alcotest.test_case "no-op sink" `Quick test_noop_sink;
+      ] );
+    ( "obs.jsonl",
+      [
+        Alcotest.test_case "export golden" `Quick test_export_golden;
+        Alcotest.test_case "round-trip golden" `Quick test_roundtrip_golden;
+        Alcotest.test_case "validate rejects bad traces" `Quick
+          test_validate_rejects_bad_traces;
+        Alcotest.test_case "summarise phases" `Quick test_summarise_phases;
+      ] );
+    ("obs.properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
+  ]

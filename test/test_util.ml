@@ -387,6 +387,33 @@ let test_percentile_invalid () =
   Alcotest.check_raises "bad p" (Invalid_argument "Stats.percentile: p outside [0,100]")
     (fun () -> ignore (Stats.percentile [| 1.0 |] 101.0))
 
+let test_percentile_nearest_rank () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  (* nearest rank always returns an observation, never an interpolation *)
+  checkf "p0" 1.0 (Stats.percentile_nearest_rank xs 0.0);
+  checkf "p50" 3.0 (Stats.percentile_nearest_rank xs 50.0);
+  checkf "p90" 5.0 (Stats.percentile_nearest_rank xs 90.0);
+  checkf "p100" 5.0 (Stats.percentile_nearest_rank xs 100.0);
+  checkf "singleton" 7.0 (Stats.percentile_nearest_rank [| 7.0 |] 95.0);
+  checkf "p95 of 1..100" 95.0
+    (Stats.percentile_nearest_rank (Array.init 100 (fun i -> float_of_int (i + 1))) 95.0);
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Stats.percentile_nearest_rank: empty") (fun () ->
+      ignore (Stats.percentile_nearest_rank [||] 50.0));
+  Alcotest.check_raises "bad p"
+    (Invalid_argument "Stats.percentile_nearest_rank: p outside [0,100]") (fun () ->
+      ignore (Stats.percentile_nearest_rank [| 1.0 |] (-1.0)))
+
+let test_stddev () =
+  checkf "constant" 0.0 (Stats.stddev [| 4.0; 4.0; 4.0 |]);
+  (* sample (n-1) stddev of 2,4,6 is exactly 2 *)
+  checkf "exact" 2.0 (Stats.stddev [| 2.0; 4.0; 6.0 |]);
+  checkf "matches running"
+    (let r = Stats.Running.create () in
+     Array.iter (Stats.Running.add r) [| 1.0; 2.0; 4.0; 8.0 |];
+     Stats.Running.stddev r)
+    (Stats.stddev [| 1.0; 2.0; 4.0; 8.0 |])
+
 let test_histogram () =
   let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
   List.iter (Stats.Histogram.add h) [ 0.5; 1.0; 3.0; 9.9; -4.0; 42.0 ];
@@ -563,6 +590,8 @@ let suites =
         Alcotest.test_case "running single obs" `Quick test_running_single;
         Alcotest.test_case "percentiles" `Quick test_percentiles;
         Alcotest.test_case "percentile invalid" `Quick test_percentile_invalid;
+        Alcotest.test_case "nearest-rank percentile" `Quick test_percentile_nearest_rank;
+        Alcotest.test_case "stddev" `Quick test_stddev;
         Alcotest.test_case "histogram" `Quick test_histogram;
         Alcotest.test_case "linear fit" `Quick test_linear_fit_exact;
         Alcotest.test_case "pearson" `Quick test_pearson_perfect;
