@@ -9,7 +9,7 @@ test:
 	dune runtest
 
 # Short-budget differential fuzz pass (separate from `dune runtest`):
-# 200 random bipartite instances x 7 max-matching solvers (incl. the
+# 200 random bipartite instances x 10 max-matching solvers (incl. the
 # warm-start incremental solver, cold and warm) plus 6 simulated
 # scenarios x 5 lockstep engines (3 schedulers + arbitrary/sticky on
 # the incremental matching engine), every engine failure round
@@ -29,16 +29,20 @@ bench:
 bench-quick:
 	dune exec bench/main.exe -- --quick $(BENCH_ARGS)
 
-# Machine-readable perf trajectory: scratch vs warm-start incremental
-# matching records at n in {256, 1024, 4096}, written to
+# Machine-readable perf trajectory: scratch / warm-start incremental /
+# bare CSR Hopcroft-Karp records (ns, matched and allocated bytes per
+# round) at n in {256, 1024, 4096, 16384}, written to
 # BENCH_matching.json at the repo root.
 bench-json:
 	dune exec bench/main.exe -- --quick --no-micro --json BENCH_matching.json
 
 # Diff the fresh records against the committed baseline; fails on a
-# >25% ns_per_round regression.  Advisory in CI (timing-sensitive).
+# ns_per_round regression beyond COMPARE_THRESHOLD percent (default
+# 25; CI passes a looser value for shared runners) or on any
+# matched_per_round drift, which no timing budget excuses.
+COMPARE_THRESHOLD ?= 25
 bench-compare: bench-json
-	dune exec bench/compare.exe -- bench/BENCH_matching.baseline.json BENCH_matching.json
+	dune exec bench/compare.exe -- bench/BENCH_matching.baseline.json BENCH_matching.json --threshold $(COMPARE_THRESHOLD)
 
 fmt:
 	dune build @fmt

@@ -3,11 +3,20 @@
    Synthesises round sequences that mimic the engine's per-round
    instance delta — a small fraction of requests departs and is
    replaced by fresh arrivals each round, capacities drift slightly —
-   and times a from-scratch solve against the warm-start incremental
-   solver over the identical instance sequence.  Emits both a human
-   table and (via {!emit_json}) the machine-readable
-   [BENCH_matching.json] record set that `bench/compare.exe` diffs
-   against the committed baseline in CI. *)
+   and times three paths over the identical instance sequence:
+
+     scratch      Bipartite.solve (Dinic CSR core) into a shared arena
+     incremental  warm-start repair (Bipartite.solve_incremental)
+     csr_hk       the bare Hopcroft–Karp CSR core over a shared arena,
+                  no outcome materialisation — the zero-allocation path
+
+   Besides ns/round each record carries alloc/round, the
+   [Gc.allocated_bytes] delta per round of the timed region: the
+   csr_hk row is the one the zero-allocation acceptance watches (~0
+   bytes once the arena has grown).  Emits both a human table and (via
+   {!emit_json}) the machine-readable [BENCH_matching.json] record set
+   that `bench/compare.exe` diffs against the committed baseline in
+   CI. *)
 
 open Vod
 
@@ -17,12 +26,13 @@ type record = {
   rounds : int;
   ns_per_round : float;
   matched_per_round : float;
+  alloc_per_round : float; (* bytes *)
 }
 
 type scenario = { label : string; churn : float }
 
 let scenarios = [ { label = "low-churn"; churn = 0.02 }; { label = "high-churn"; churn = 0.40 } ]
-let sizes = [ 256; 1024; 4096 ]
+let sizes = [ 256; 1024; 4096; 16384 ]
 
 (* One identity-stable synthetic round sequence: request l keeps its row
    (and hence its warm seat) unless churned, in which case it models a
@@ -53,7 +63,9 @@ let make_sequence ~seed ~n_left ~rounds ~churn =
     Array.iteri
       (fun l row -> Array.iter (fun r -> Bipartite.add_edge inst ~left:l ~right:r) row)
       adj;
-    (* force the memoised dedup now so neither timed solver pays it *)
+    (* force CSR finalize and the memoised dedup now so no timed solver
+       pays for either *)
+    ignore (Bipartite.csr inst);
     ignore (Bipartite.adjacency inst);
     instances := (inst, !churned) :: !instances
   done;
@@ -61,33 +73,54 @@ let make_sequence ~seed ~n_left ~rounds ~churn =
 
 let now_ns () = Unix.gettimeofday () *. 1e9
 
-let time_scratch seq =
+(* Every timed path reuses one arena per call, like the engine does;
+   each timer returns (elapsed ns, total matched, allocated bytes). *)
+
+let time_scratch seq ~arena =
   let matched = ref 0 in
+  let b0 = Gc.allocated_bytes () in
   let t0 = now_ns () in
   List.iter
     (fun (inst, _) ->
-      let o = Bipartite.solve inst in
+      let o = Bipartite.solve ~arena inst in
       matched := !matched + o.Bipartite.matched)
     seq;
-  (now_ns () -. t0, !matched)
+  let ns = now_ns () -. t0 in
+  (ns, !matched, Gc.allocated_bytes () -. b0)
 
-let time_incremental seq ~n_left =
+let time_incremental seq ~arena ~n_left =
   let st = Bipartite.Incremental.create () in
   let warm = ref (Array.make n_left (-1)) in
   let matched = ref 0 in
+  let b0 = Gc.allocated_bytes () in
   let t0 = now_ns () in
   List.iter
     (fun (inst, churned) ->
       (* departures/arrivals lose their seat; survivors keep theirs *)
       List.iter (fun l -> !warm.(l) <- -1) churned;
-      let o = Bipartite.solve_incremental st ~warm_start:!warm inst in
+      let o = Bipartite.solve_incremental st ~arena ~warm_start:!warm inst in
       warm := o.Bipartite.assignment;
       matched := !matched + o.Bipartite.matched)
     seq;
-  (now_ns () -. t0, !matched)
+  let ns = now_ns () -. t0 in
+  (ns, !matched, Gc.allocated_bytes () -. b0)
+
+(* The bare CSR core: no outcome arrays, results stay in the arena.
+   This is the ~0 bytes/round row. *)
+let time_csr_hk seq ~arena =
+  let matched = ref 0 in
+  let b0 = Gc.allocated_bytes () in
+  let t0 = now_ns () in
+  List.iter
+    (fun (inst, _) ->
+      matched := !matched + Hopcroft_karp.solve_csr ~arena (Bipartite.csr inst))
+    seq;
+  let ns = now_ns () -. t0 in
+  (ns, !matched, Gc.allocated_bytes () -. b0)
 
 let run () =
   let records = ref [] in
+  let arena = Arena.create () in
   List.iter
     (fun { label; churn } ->
       List.iter
@@ -95,42 +128,58 @@ let run () =
           (* Small sizes need more rounds: the timed region must stay
              well above scheduler-jitter scale or the compare gate sees
              phantom regressions. *)
-          let rounds = if n_left >= 4096 then 32 else 96 in
-          let seq = make_sequence ~seed:(0xbe2c + n_left) ~n_left ~rounds ~churn in
-          (* warm both paths once (allocator, code) before timing *)
-          ignore (time_scratch [ List.hd seq ]);
-          ignore (time_incremental [ List.hd seq ] ~n_left);
-          (* best-of-5: scheduler hiccups only ever add time, so the
-             minimum is the stable estimate the regression gate needs *)
-          let best_of f =
-            let best = ref infinity and matched = ref 0 in
-            for _ = 1 to 5 do
-              let ns, m = f () in
-              if ns < !best then best := ns;
-              matched := m
-            done;
-            (!best, !matched)
+          let rounds =
+            if n_left >= 16384 then 12 else if n_left >= 4096 then 32 else 96
           in
-          let scratch_ns, scratch_matched = best_of (fun () -> time_scratch seq) in
-          let inc_ns, inc_matched = best_of (fun () -> time_incremental seq ~n_left) in
-          if scratch_matched <> inc_matched then
+          let seq = make_sequence ~seed:(0xbe2c + n_left) ~n_left ~rounds ~churn in
+          (* warm all paths once (allocator, code, arena growth) before
+             timing *)
+          ignore (time_scratch [ List.hd seq ] ~arena);
+          ignore (time_incremental [ List.hd seq ] ~arena ~n_left);
+          ignore (time_csr_hk [ List.hd seq ] ~arena);
+          (* best-of-5: scheduler hiccups only ever add time, so the
+             minimum is the stable estimate the regression gate needs;
+             allocation is deterministic, so any run's delta serves *)
+          let best_of f =
+            let best = ref infinity and matched = ref 0 and bytes = ref 0.0 in
+            for _ = 1 to 5 do
+              let ns, m, b = f () in
+              if ns < !best then best := ns;
+              matched := m;
+              bytes := b
+            done;
+            (!best, !matched, !bytes)
+          in
+          let scratch_ns, scratch_matched, scratch_b =
+            best_of (fun () -> time_scratch seq ~arena)
+          in
+          let inc_ns, inc_matched, inc_b =
+            best_of (fun () -> time_incremental seq ~arena ~n_left)
+          in
+          let hk_ns, hk_matched, hk_b = best_of (fun () -> time_csr_hk seq ~arena) in
+          if scratch_matched <> inc_matched || scratch_matched <> hk_matched then
             failwith
               (Printf.sprintf
-                 "bench_matching: scratch and incremental disagree at n=%d %s (%d vs %d)"
-                 n_left label scratch_matched inc_matched);
+                 "bench_matching: solvers disagree at n=%d %s (scratch %d, \
+                  incremental %d, csr_hk %d)"
+                 n_left label scratch_matched inc_matched hk_matched);
           let r = float_of_int rounds in
-          let mk name ns matched =
+          let mk name ns matched bytes =
             {
               name;
               n = n_left;
               rounds;
               ns_per_round = ns /. r;
               matched_per_round = float_of_int matched /. r;
+              alloc_per_round = bytes /. r;
             }
           in
           records :=
-            mk (Printf.sprintf "matching/incremental/%s" label) inc_ns inc_matched
-            :: mk (Printf.sprintf "matching/scratch/%s" label) scratch_ns scratch_matched
+            mk (Printf.sprintf "matching/csr_hk/%s" label) hk_ns hk_matched hk_b
+            :: mk (Printf.sprintf "matching/incremental/%s" label) inc_ns inc_matched
+                 inc_b
+            :: mk (Printf.sprintf "matching/scratch/%s" label) scratch_ns
+                 scratch_matched scratch_b
             :: !records)
         sizes)
     scenarios;
@@ -146,6 +195,7 @@ let print_table records =
           ("rounds", Table.Right);
           ("ns/round", Table.Right);
           ("matched/round", Table.Right);
+          ("alloc B/round", Table.Right);
         ]
   in
   List.iter
@@ -157,14 +207,15 @@ let print_table records =
           string_of_int r.rounds;
           Printf.sprintf "%.0f" r.ns_per_round;
           Printf.sprintf "%.1f" r.matched_per_round;
+          Printf.sprintf "%.0f" r.alloc_per_round;
         ])
     records;
   Table.print ~title:"Connection matching: scratch vs warm-start incremental" tbl;
   (* headline: the ratio the acceptance gate watches *)
-  let find name n =
-    List.find_opt (fun r -> r.name = name && r.n = n) records
-  in
-  match (find "matching/scratch/low-churn" 4096, find "matching/incremental/low-churn" 4096) with
+  let find name n = List.find_opt (fun r -> r.name = name && r.n = n) records in
+  match
+    (find "matching/scratch/low-churn" 4096, find "matching/incremental/low-churn" 4096)
+  with
   | Some s, Some i when i.ns_per_round > 0.0 ->
       Printf.printf "low-churn n=4096 speed-up (scratch / incremental): %.1fx\n"
         (s.ns_per_round /. i.ns_per_round)
@@ -178,8 +229,8 @@ let emit_json records ~path =
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"name\": \"%s\", \"n\": %d, \"rounds\": %d, \"ns_per_round\": %.3f, \
-            \"matched_per_round\": %.3f}%s\n"
-           r.name r.n r.rounds r.ns_per_round r.matched_per_round
+            \"matched_per_round\": %.3f, \"alloc_per_round\": %.1f}%s\n"
+           r.name r.n r.rounds r.ns_per_round r.matched_per_round r.alloc_per_round
            (if i = List.length records - 1 then "" else ",")))
     records;
   Buffer.add_string buf "  ]\n}\n";

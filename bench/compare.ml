@@ -1,15 +1,20 @@
 (* compare — diff a freshly generated BENCH_matching.json against the
-   committed baseline and fail on ns_per_round regressions.
+   committed baseline and fail on ns_per_round regressions or
+   matched_per_round drift.
 
      dune exec bench/compare.exe -- BASELINE CURRENT [--threshold PCT]
 
    Records are matched on (name, n).  A record regresses when its
    ns_per_round exceeds the baseline's by more than the threshold
-   (default 25%).  New records (no baseline entry) and retired records
-   are reported but never fail the run, so the gate survives adding or
-   renaming benchmarks.  Exit status: 0 clean, 1 regression, 2 bad
-   input.  Wired as an advisory CI job (see .github/workflows/ci.yml)
-   and as `make bench-compare`. *)
+   (default 25%).  When both sides carry matched_per_round, any
+   relative drift beyond 0.1% also fails: the instance sequences are
+   seeded, so the maximum-matching cardinality is deterministic — a
+   drift means a solver stopped finding the optimum, which no timing
+   threshold should excuse.  New records (no baseline entry) and
+   retired records are reported but never fail the run, so the gate
+   survives adding or renaming benchmarks.  Exit status: 0 clean,
+   1 regression, 2 bad input.  Wired as an advisory CI job (see
+   .github/workflows/ci.yml) and as `make bench-compare`. *)
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON reader (objects, arrays, strings, numbers — the subset
@@ -160,7 +165,12 @@ let parse_json (s : string) : json =
 (* Record extraction and comparison                                    *)
 (* ------------------------------------------------------------------ *)
 
-type record = { name : string; n : int; ns_per_round : float }
+type record = {
+  name : string;
+  n : int;
+  ns_per_round : float;
+  matched_per_round : float option; (* absent in pre-drift-gate files *)
+}
 
 let field key = function
   | Obj fields -> List.assoc_opt key fields
@@ -183,7 +193,12 @@ let records_of_file path =
         (fun item ->
           match (field "name" item, field "n" item, field "ns_per_round" item) with
           | Some (Str name), Some (Num n), Some (Num ns) ->
-              { name; n = int_of_float n; ns_per_round = ns }
+              let matched_per_round =
+                match field "matched_per_round" item with
+                | Some (Num m) -> Some m
+                | _ -> None
+              in
+              { name; n = int_of_float n; ns_per_round = ns; matched_per_round }
           | _ -> raise (Parse (path ^ ": malformed record")))
         items
   | _ -> raise (Parse (path ^ ": missing \"records\" array"))
@@ -212,6 +227,7 @@ let () =
         let baseline = records_of_file baseline_path in
         let current = records_of_file current_path in
         let regressions = ref [] in
+        let drifts = ref [] in
         Printf.printf "%-36s %6s %14s %14s %9s\n" "benchmark" "n" "baseline ns/rd"
           "current ns/rd" "delta";
         List.iter
@@ -226,6 +242,12 @@ let () =
                 let delta =
                   100.0 *. ((cur.ns_per_round /. base.ns_per_round) -. 1.0)
                 in
+                (match (base.matched_per_round, cur.matched_per_round) with
+                | Some bm, Some cm
+                  when abs_float (cm -. bm) > 0.001 *. Float.max 1.0 (abs_float bm)
+                  ->
+                    drifts := (cur, bm, cm) :: !drifts
+                | _ -> ());
                 let verdict =
                   if delta > !threshold then begin
                     regressions := (cur, base, delta) :: !regressions;
@@ -243,11 +265,20 @@ let () =
                 (List.exists (fun c -> c.name = b.name && c.n = b.n) current)
             then Printf.printf "%-36s %6d (retired: present only in baseline)\n" b.name b.n)
           baseline;
-        match !regressions with
-        | [] ->
-            Printf.printf "verdict: no ns_per_round regression beyond %.0f%%\n" !threshold;
+        List.iter
+          (fun (cur, bm, cm) ->
+            Printf.printf
+              "DRIFT %s n=%d: matched/round %.3f -> %.3f (cardinality must not move)\n"
+              cur.name cur.n bm cm)
+          !drifts;
+        match (!regressions, !drifts) with
+        | [], [] ->
+            Printf.printf
+              "verdict: no ns_per_round regression beyond %.0f%%, no matched_per_round \
+               drift\n"
+              !threshold;
             exit 0
-        | rs ->
+        | rs, _ ->
             List.iter
               (fun (cur, base, delta) ->
                 Printf.printf

@@ -431,51 +431,175 @@ let attack_cmd =
 (* ------------------------------------------------------------------ *)
 
 let sweep_cmd =
-  let run n d c k seed lo hi steps =
+  let run n d c k seed lo hi steps jobs replications sim_rounds =
     if steps < 2 then `Error (false, "need at least 2 steps")
+    else if replications < 1 then `Error (false, "need at least 1 replication")
     else begin
-      let c = match c with Some c -> c | None -> 2 in
-      let tbl =
-        Vod.Table.create
-          ~columns:
-            [
-              ("u", Vod.Table.Right);
-              ("m", Vod.Table.Right);
-              ("survives battery", Vod.Table.Left);
-            ]
-      in
-      for i = 0 to steps - 1 do
-        let u = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (steps - 1)) in
-        let fleet = Vod.Box.Fleet.homogeneous ~n ~u ~d in
-        let m = n in
-        let catalog = Vod.Catalog.create ~m ~c in
-        let g = Vod.Prng.create ~seed:(seed + i) () in
-        match Vod.Schemes.random_permutation g ~fleet ~catalog ~k with
-        | alloc ->
-            let ok = Vod.Probe.survives_battery g ~fleet ~alloc ~c ~trials:10 in
+      try
+        let c = match c with Some c -> c | None -> 2 in
+        let jobs =
+          match jobs with Some j -> j | None -> Vod.Par.default_jobs ()
+        in
+        let reps = replications in
+        let u_of i =
+          lo +. ((hi -. lo) *. float_of_int i /. float_of_int (steps - 1))
+        in
+        (* One task per (point, replication).  Tasks are independent by
+           construction: each derives its own PRNG streams from
+           (point, rep) — so results are identical whatever the job
+           count or backend — builds its own system, and records into a
+           private registry that is absorbed after the join. *)
+        let task t =
+          let i = t / reps and r = t mod reps in
+          let u = u_of i in
+          let reg = Vod.Obs.Registry.create () in
+          Vod.Obs.Registry.incr (Vod.Obs.Registry.counter reg "sweep.replications");
+          let seed' = seed + (1000 * i) + r in
+          let g = Vod.Prng.create ~seed:seed' () in
+          let fleet = Vod.Box.Fleet.homogeneous ~n ~u ~d in
+          let m = n in
+          let catalog = Vod.Catalog.create ~m ~c in
+          match Vod.Schemes.random_permutation g ~fleet ~catalog ~k with
+          | exception Invalid_argument _ -> (`Unallocatable, reg)
+          | alloc ->
+              let battery =
+                Vod.Probe.survives_battery g ~fleet ~alloc ~c ~trials:10
+              in
+              if not battery then
+                Vod.Obs.Registry.incr
+                  (Vod.Obs.Registry.counter reg "sweep.battery_failures");
+              let params = Vod.Params.make ~n ~c ~mu:1.2 ~duration:30 in
+              let sim =
+                Vod.Engine.create ~params ~fleet ~alloc
+                  ~policy:Vod.Engine.Continue ~matching:Vod.Engine.Incremental ()
+              in
+              let wg = Vod.Prng.create ~seed:(seed' + 1) () in
+              let workload =
+                Vod.Generators.uniform_arrivals wg ~rate:(float_of_int n /. 8.0)
+              in
+              let reports =
+                Vod.Engine.run sim ~rounds:sim_rounds ~demands_for:workload
+              in
+              let metrics = Vod.Metrics.summarise reports in
+              Vod.Obs.Registry.add
+                (Vod.Obs.Registry.counter reg "sweep.served")
+                metrics.Vod.Metrics.total_served;
+              Vod.Obs.Registry.add
+                (Vod.Obs.Registry.counter reg "sweep.unserved")
+                metrics.Vod.Metrics.total_unserved;
+              Vod.Obs.Registry.set
+                (Vod.Obs.Registry.gauge reg "sweep.peak_active")
+                metrics.Vod.Metrics.peak_active;
+              (`Ran (battery, metrics.Vod.Metrics.total_unserved), reg)
+        in
+        let results = Vod.Par.map ~jobs ~f:task (steps * reps) in
+        let tbl =
+          Vod.Table.create
+            ~columns:
+              [
+                ("u", Vod.Table.Right);
+                ("m", Vod.Table.Right);
+                ("battery", Vod.Table.Right);
+                ("unserved/rep", Vod.Table.Right);
+                ("verdict", Vod.Table.Left);
+              ]
+        in
+        for i = 0 to steps - 1 do
+          let point = Array.sub results (i * reps) reps in
+          let fits =
+            Array.for_all (fun (o, _) -> o <> `Unallocatable) point
+          in
+          if not fits then
             Vod.Table.add_row tbl
               [
-                Vod.Table.fmt_float ~decimals:2 u;
-                string_of_int m;
-                (if ok then "yes" else "NO");
+                Vod.Table.fmt_float ~decimals:2 (u_of i);
+                string_of_int n;
+                "-";
+                "-";
+                "(does not fit)";
               ]
-        | exception Invalid_argument _ ->
+          else begin
+            let battery_ok = ref 0 and unserved = ref 0 in
+            Array.iter
+              (fun (o, _) ->
+                match o with
+                | `Ran (ok, uns) ->
+                    if ok then incr battery_ok;
+                    unserved := !unserved + uns
+                | `Unallocatable -> ())
+              point;
             Vod.Table.add_row tbl
-              [ Vod.Table.fmt_float ~decimals:2 u; string_of_int m; "(does not fit)" ]
-      done;
-      Vod.Table.print
-        ~title:(Printf.sprintf "Threshold sweep: m = n = %d, c = %d, k = %d" n c k)
-        tbl;
-      `Ok ()
+              [
+                Vod.Table.fmt_float ~decimals:2 (u_of i);
+                string_of_int n;
+                Printf.sprintf "%d/%d" !battery_ok reps;
+                Vod.Table.fmt_float ~decimals:1
+                  (float_of_int !unserved /. float_of_int reps);
+                (if !battery_ok = reps && !unserved = 0 then "ok" else "NO");
+              ]
+          end
+        done;
+        Vod.Table.print
+          ~title:
+            (Printf.sprintf
+               "Threshold sweep: m = n = %d, c = %d, k = %d (%d reps, %d jobs, %s)"
+               n c k reps jobs Vod.Par.backend)
+          tbl;
+        (* Merge the per-task registries into one aggregate view. *)
+        let merged = Vod.Obs.Registry.create () in
+        Array.iter (fun (_, reg) -> Vod.Obs.Registry.absorb ~into:merged reg) results;
+        let v name =
+          Vod.Obs.Registry.counter_value (Vod.Obs.Registry.counter merged name)
+        in
+        Printf.printf
+          "obs: %d replications, %d served, %d unserved, %d battery failures, peak \
+           active %d\n"
+          (v "sweep.replications") (v "sweep.served") (v "sweep.unserved")
+          (v "sweep.battery_failures")
+          (Vod.Obs.Registry.gauge_value
+             (Vod.Obs.Registry.gauge merged "sweep.peak_active"));
+        `Ok ()
+      with Invalid_argument e | Failure e -> `Error (false, e)
     end
   in
   let lo_arg = Arg.(value & opt float 0.5 & info [ "from" ] ~docv:"LO" ~doc:"Lowest u.") in
   let hi_arg = Arg.(value & opt float 3.0 & info [ "to" ] ~docv:"HI" ~doc:"Highest u.") in
   let steps_arg = Arg.(value & opt int 9 & info [ "steps" ] ~doc:"Sweep points.") in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"J"
+          ~doc:
+            "Worker count for running sweep points in parallel (defaults to the \
+             backend's recommendation; the sequential fallback on OCaml 4 uses 1).  \
+             Results are independent of $(docv).")
+  in
+  let replications_arg =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "replications" ] ~docv:"R"
+          ~doc:
+            "Independent replications per sweep point, each with its own derived \
+             PRNG stream (seed + 1000*point + rep).")
+  in
+  let sim_rounds_arg =
+    Arg.(
+      value
+      & opt int 40
+      & info [ "rounds" ] ~docv:"R"
+          ~doc:"Rounds of uniform-arrival simulation per replication.")
+  in
   Cmd.v
-    (Cmd.info "sweep" ~doc:"Sweep the upload capacity across the threshold.")
+    (Cmd.info "sweep"
+       ~doc:
+         "Sweep the upload capacity across the threshold (replications run in \
+          parallel).")
     Term.(
-      ret (const run $ n_arg $ d_arg $ c_arg $ k_arg $ seed_arg $ lo_arg $ hi_arg $ steps_arg))
+      ret
+        (const run $ n_arg $ d_arg $ c_arg $ k_arg $ seed_arg $ lo_arg $ hi_arg
+       $ steps_arg $ jobs_arg $ replications_arg $ sim_rounds_arg))
 
 (* ------------------------------------------------------------------ *)
 (* plan                                                                *)
@@ -564,7 +688,7 @@ let check_cmd =
           Vod.Check.Fuzz.run ~seed ~instances ~scenarios ~rounds ?repro_dir ()
         in
         Printf.printf
-          "differential check (seed %d): %d bipartite instances x 7 solvers, %d \
+          "differential check (seed %d): %d bipartite instances x 10 solvers, %d \
            scenarios x 5 engines (3 schedulers + 2 incremental)\n"
           seed summary.Vod.Check.Fuzz.instances_checked
           summary.Vod.Check.Fuzz.scenarios_checked;

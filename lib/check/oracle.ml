@@ -21,6 +21,12 @@ let solver_agreement inst =
       ("dinic", dinic);
       ("push_relabel", B.solve ~algorithm:B.Push_relabel_flow bip);
       ("hopcroft_karp", B.solve ~algorithm:B.Hopcroft_karp_matching bip);
+      (* The pre-CSR implementations (explicit Flow_network / slot
+         expansion) stay on the panel as independent oracles for the
+         flat solver cores. *)
+      ("dinic_legacy", B.solve_legacy ~algorithm:B.Dinic_flow bip);
+      ("push_relabel_legacy", B.solve_legacy ~algorithm:B.Push_relabel_flow bip);
+      ("hopcroft_karp_slots", B.solve_legacy ~algorithm:B.Hopcroft_karp_matching bip);
       ("min_cost_flow", B.solve_min_cost bip ~edge_cost:probe_cost);
       ("incremental_cold", inc (B.Incremental.create ()) ());
       ( "incremental_warm_hk",
@@ -74,7 +80,7 @@ type sched_outcome = {
 
 (* Independently audit one engine's failed round: the engine must expose
    the instance and a violator, the checker must confirm the violator,
-   and all four solvers must agree that the engine's matching was
+   and the full solver panel must agree that the engine's matching was
    maximum on that very instance. *)
 let audit_failure name engine (report : Engine.round_report) =
   match (Engine.last_violator engine, Engine.last_instance engine) with

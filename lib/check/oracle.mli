@@ -3,11 +3,13 @@
     Two levels, mirroring the two layers whose correctness the paper's
     guarantees rest on:
 
-    - {!solver_agreement}: the maximum-matching solvers (Dinic,
-      push-relabel, Hopcroft–Karp, min-cost flow, plus the warm-start
-      incremental solver both cold and warm-started from another
-      solver's assignment, under each of its two backends) run on the
-      same bipartite instance must report the same matched cardinality,
+    - {!solver_agreement}: the maximum-matching solvers (the CSR/arena
+      cores of Dinic, push-relabel and Hopcroft–Karp, their pre-CSR
+      legacy implementations over an explicit flow network / slot
+      expansion, min-cost flow, plus the warm-start incremental solver
+      both cold and warm-started from another solver's assignment,
+      under each of its two backends) run on the same bipartite
+      instance must report the same matched cardinality,
       each matching must replay as a valid assignment, and on deficit
       the Hall violator must be a checker-confirmed cut witness tight
       against the matching (König duality);

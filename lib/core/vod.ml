@@ -7,6 +7,8 @@ module Sample = Vod_util.Sample
 module Stats = Vod_util.Stats
 module Table = Vod_util.Table
 
+module Csr = Vod_graph.Csr
+module Arena = Vod_graph.Arena
 module Flow_network = Vod_graph.Flow_network
 module Dinic = Vod_graph.Dinic
 module Push_relabel = Vod_graph.Push_relabel
@@ -34,6 +36,11 @@ module Metrics = Vod_sim.Metrics
 module Trace = Vod_sim.Trace
 
 module Generators = Vod_workload.Generators
+
+module Par = Vod_par.Par
+(** Deterministic parallel task runner: [Par.map] fans independent
+    replications out over domains on OCaml >= 5 and degrades to a
+    sequential backend on 4.14 ([Par.backend] says which). *)
 
 module Ring = Vod_directory.Ring
 module Directory = Vod_directory.Directory

@@ -1,0 +1,81 @@
+(* Scratch-buffer arena shared by the CSR solver cores.  See the mli
+   for the slab discipline; the implementation is just named growable
+   int-array cells. *)
+
+type slab = { mutable buf : int array }
+
+type t = {
+  assignment : slab;
+  right_load : slab;
+  queue : slab;
+  warm : slab;
+  hk_dist : slab;
+  seat_start : slab;
+  seats : slab;
+  level : slab;
+  it_left : slab;
+  it_right : slab;
+  matched_edge : slab;
+  t_row_start : slab;
+  t_eid : slab;
+  edge_left : slab;
+  excess : slab;
+  height : slab;
+  height_count : slab;
+  edge_flow : slab;
+  src_flow : slab;
+  pr_it : slab;
+  in_queue : slab;
+}
+
+let slab () = { buf = [||] }
+
+let create () =
+  {
+    assignment = slab ();
+    right_load = slab ();
+    queue = slab ();
+    warm = slab ();
+    hk_dist = slab ();
+    seat_start = slab ();
+    seats = slab ();
+    level = slab ();
+    it_left = slab ();
+    it_right = slab ();
+    matched_edge = slab ();
+    t_row_start = slab ();
+    t_eid = slab ();
+    edge_left = slab ();
+    excess = slab ();
+    height = slab ();
+    height_count = slab ();
+    edge_flow = slab ();
+    src_flow = slab ();
+    pr_it = slab ();
+    in_queue = slab ();
+  }
+
+let ints slab n =
+  if Array.length slab.buf < n then begin
+    let cap = ref 8 in
+    while !cap < n do
+      cap := 2 * !cap
+    done;
+    (* scratch: old contents are never carried over, so no blit *)
+    slab.buf <- Array.make !cap 0
+  end;
+  slab.buf
+
+let assignment t = t.assignment.buf
+let right_load t = t.right_load.buf
+
+let words t =
+  let slabs =
+    [
+      t.assignment; t.right_load; t.queue; t.warm; t.hk_dist; t.seat_start; t.seats;
+      t.level; t.it_left; t.it_right; t.matched_edge; t.t_row_start; t.t_eid;
+      t.edge_left; t.excess; t.height; t.height_count; t.edge_flow; t.src_flow;
+      t.pr_it; t.in_queue;
+    ]
+  in
+  List.fold_left (fun acc s -> acc + Array.length s.buf) 0 slabs

@@ -1,83 +1,121 @@
 open Vod_util
 module F = Flow_network
 
+(* The instance is CSR-backed: [Csr.t] holds the edges (insertion order,
+   deduplicated on finalize) and the per-right capacities, and doubles
+   as the reusable builder the engine refills every round via [reset].
+   [dedup] memoises the sorted [int array array] view still consumed by
+   the legacy solver paths, certificates and min-cost/greedy solvers. *)
 type t = {
-  n_left : int;
-  n_right : int;
-  right_cap : int array;
-  adj : int Vec.t array; (* left -> rights, possibly with duplicates *)
-  mutable dedup : int array array option; (* memoised deduplicated adjacency *)
+  csr : Csr.t;
+  mutable dedup : int array array option; (* memoised sorted adjacency rows *)
 }
 
-let create ~n_left ~n_right ~right_cap =
-  if n_left < 0 || n_right < 0 then invalid_arg "Bipartite.create: negative size";
+let validate_shape ~who ~n_left ~n_right ~right_cap =
+  if n_left < 0 || n_right < 0 then invalid_arg (who ^ ": negative size");
   if Array.length right_cap <> n_right then
-    invalid_arg "Bipartite.create: right_cap length mismatch";
-  Array.iter (fun c -> if c < 0 then invalid_arg "Bipartite.create: negative capacity") right_cap;
-  {
-    n_left;
-    n_right;
-    right_cap = Array.copy right_cap;
-    adj = Array.init (max n_left 1) (fun _ -> Vec.create ());
-    dedup = None;
-  }
+    invalid_arg (who ^ ": right_cap length mismatch");
+  Array.iter (fun c -> if c < 0 then invalid_arg (who ^ ": negative capacity")) right_cap
 
-let add_edge t ~left ~right =
-  if left < 0 || left >= t.n_left then invalid_arg "Bipartite.add_edge: left out of range";
-  if right < 0 || right >= t.n_right then invalid_arg "Bipartite.add_edge: right out of range";
-  Vec.push t.adj.(left) right;
+let create ~n_left ~n_right ~right_cap =
+  validate_shape ~who:"Bipartite.create" ~n_left ~n_right ~right_cap;
+  let csr = Csr.create () in
+  Csr.reset csr ~n_left ~n_right;
+  Array.iteri (fun r c -> Csr.set_right_cap csr r c) right_cap;
+  { csr; dedup = None }
+
+let reset t ~n_left ~n_right ~right_cap =
+  validate_shape ~who:"Bipartite.reset" ~n_left ~n_right ~right_cap;
+  Csr.reset t.csr ~n_left ~n_right;
+  Array.iteri (fun r c -> Csr.set_right_cap t.csr r c) right_cap;
   t.dedup <- None
 
-let n_left t = t.n_left
-let n_right t = t.n_right
-let right_cap t = Array.copy t.right_cap
+let add_edge t ~left ~right =
+  if left < 0 || left >= Csr.n_left t.csr then
+    invalid_arg "Bipartite.add_edge: left out of range";
+  if right < 0 || right >= Csr.n_right t.csr then
+    invalid_arg "Bipartite.add_edge: right out of range";
+  Csr.add_edge t.csr ~left ~right;
+  t.dedup <- None
+
+let n_left t = Csr.n_left t.csr
+let n_right t = Csr.n_right t.csr
+let right_cap t = Array.sub (Csr.right_cap_array t.csr) 0 (Csr.n_right t.csr)
+
+let csr t =
+  Csr.finalize t.csr;
+  t.csr
 
 let adjacency t =
   match t.dedup with
   | Some a -> a
   | None ->
-      let a =
-        Array.init t.n_left (fun l ->
-            let rights = Vec.to_array t.adj.(l) in
-            Array.sort compare rights;
-            let out = Vec.create () in
-            Array.iteri
-              (fun i r -> if i = 0 || rights.(i - 1) <> r then Vec.push out r)
-              rights;
-            Vec.to_array out)
-      in
+      let a = Csr.to_adjacency t.csr in
       t.dedup <- Some a;
       a
 
-let degree t l = Array.length (adjacency t).(l)
+let degree t l = Csr.degree t.csr l
 
 type algorithm = Dinic_flow | Push_relabel_flow | Hopcroft_karp_matching
 
 type outcome = { matched : int; assignment : int array; right_load : int array }
+
+let outcome_of_arena t arena size =
+  {
+    matched = size;
+    assignment = Array.sub (Arena.assignment arena) 0 (n_left t);
+    right_load = Array.sub (Arena.right_load arena) 0 (n_right t);
+  }
+
+let solve ?arena ?(algorithm = Dinic_flow) t =
+  let arena = match arena with Some a -> a | None -> Arena.create () in
+  let csr = csr t in
+  let size =
+    match algorithm with
+    | Dinic_flow -> Dinic.solve_csr ~arena csr
+    | Push_relabel_flow -> Push_relabel.solve_csr ~arena csr
+    | Hopcroft_karp_matching -> Hopcroft_karp.solve_csr ~arena csr
+  in
+  outcome_of_arena t arena size
+
+(* ------------------------------------------------------------------ *)
+(* Legacy adj-array solver paths                                       *)
+(*                                                                     *)
+(* The historical implementations — an explicit [Flow_network] for the *)
+(* flow algorithms and slot expansion for Hopcroft-Karp — are kept as  *)
+(* independent algorithms so the vod_check oracle panel and the fuzz   *)
+(* harness can diff the CSR/arena cores against them on every          *)
+(* instance.                                                           *)
+(* ------------------------------------------------------------------ *)
 
 (* Flow-network encoding of Lemma 1: source -> request (cap 1),
    request -> box (unbounded), box -> sink (cap = upload slots). *)
 let build_network_full t =
   let src = 0 in
   let left_base = 1 in
-  let right_base = 1 + t.n_left in
-  let sink = 1 + t.n_left + t.n_right in
-  let net = F.create (sink + 1) in
+  let right_base = 1 + n_left t in
+  let sink = 1 + n_left t + n_right t in
+  let right_cap = Csr.right_cap_array t.csr in
   let adj = adjacency t in
-  let src_arcs = Array.make (max t.n_left 1) 0 in
-  for l = 0 to t.n_left - 1 do
+  let arc_hint =
+    (* src arcs + middle arcs + sink arcs, two arc cells each *)
+    2 * (n_left t + Csr.n_edges t.csr + n_right t)
+  in
+  let net = F.create ~arc_hint (sink + 1) in
+  let src_arcs = Array.make (max (n_left t) 1) 0 in
+  for l = 0 to n_left t - 1 do
     src_arcs.(l) <- F.add_edge net ~src ~dst:(left_base + l) ~cap:1
   done;
-  let middle = Array.make (max t.n_left 1) [||] in
-  for l = 0 to t.n_left - 1 do
+  let middle = Array.make (max (n_left t) 1) [||] in
+  for l = 0 to n_left t - 1 do
     middle.(l) <-
       Array.map
         (fun r -> F.add_edge net ~src:(left_base + l) ~dst:(right_base + r) ~cap:1)
         adj.(l)
   done;
-  let sink_arcs = Array.make (max t.n_right 1) 0 in
-  for r = 0 to t.n_right - 1 do
-    sink_arcs.(r) <- F.add_edge net ~src:(right_base + r) ~dst:sink ~cap:t.right_cap.(r)
+  let sink_arcs = Array.make (max (n_right t) 1) 0 in
+  for r = 0 to n_right t - 1 do
+    sink_arcs.(r) <- F.add_edge net ~src:(right_base + r) ~dst:sink ~cap:right_cap.(r)
   done;
   (net, src, sink, middle, src_arcs, sink_arcs)
 
@@ -87,10 +125,10 @@ let build_network t =
 
 let outcome_of_flow t net middle =
   let adj = adjacency t in
-  let assignment = Array.make t.n_left (-1) in
-  let right_load = Array.make t.n_right 0 in
+  let assignment = Array.make (n_left t) (-1) in
+  let right_load = Array.make (n_right t) 0 in
   let matched = ref 0 in
-  for l = 0 to t.n_left - 1 do
+  for l = 0 to n_left t - 1 do
     Array.iteri
       (fun i a ->
         if F.flow net a > 0 then begin
@@ -103,7 +141,7 @@ let outcome_of_flow t net middle =
   done;
   { matched = !matched; assignment; right_load }
 
-let solve ?(algorithm = Dinic_flow) t =
+let solve_legacy ?(algorithm = Dinic_flow) t =
   match algorithm with
   | Dinic_flow ->
       let net, src, sink, middle = build_network t in
@@ -115,23 +153,26 @@ let solve ?(algorithm = Dinic_flow) t =
       outcome_of_flow t net middle
   | Hopcroft_karp_matching ->
       let r =
-        Hopcroft_karp.solve ~n_left:t.n_left ~n_right:t.n_right ~adj:(adjacency t)
-          ~right_cap:t.right_cap ()
+        Hopcroft_karp.solve_slots ~n_left:(n_left t) ~n_right:(n_right t)
+          ~adj:(adjacency t)
+          ~right_cap:(Csr.right_cap_array t.csr |> fun a -> Array.sub a 0 (n_right t))
+          ()
       in
       { matched = r.Hopcroft_karp.size; assignment = r.assignment; right_load = r.right_load }
 
 let solve_min_cost t ~edge_cost =
   let src = 0 in
   let left_base = 1 in
-  let right_base = 1 + t.n_left in
-  let sink = 1 + t.n_left + t.n_right in
+  let right_base = 1 + n_left t in
+  let sink = 1 + n_left t + n_right t in
+  let right_cap = Csr.right_cap_array t.csr in
   let net = Min_cost_flow.create (sink + 1) in
   let adj = adjacency t in
-  for l = 0 to t.n_left - 1 do
+  for l = 0 to n_left t - 1 do
     ignore (Min_cost_flow.add_edge net ~src ~dst:(left_base + l) ~cap:1 ~cost:0)
   done;
-  let middle = Array.make (max t.n_left 1) [||] in
-  for l = 0 to t.n_left - 1 do
+  let middle = Array.make (max (n_left t) 1) [||] in
+  for l = 0 to n_left t - 1 do
     middle.(l) <-
       Array.map
         (fun r ->
@@ -139,16 +180,16 @@ let solve_min_cost t ~edge_cost =
             ~cost:(edge_cost ~left:l ~right:r))
         adj.(l)
   done;
-  for r = 0 to t.n_right - 1 do
+  for r = 0 to n_right t - 1 do
     ignore
-      (Min_cost_flow.add_edge net ~src:(right_base + r) ~dst:sink ~cap:t.right_cap.(r)
+      (Min_cost_flow.add_edge net ~src:(right_base + r) ~dst:sink ~cap:right_cap.(r)
          ~cost:0)
   done;
   let _value, _cost = Min_cost_flow.solve net ~src ~sink in
-  let assignment = Array.make t.n_left (-1) in
-  let right_load = Array.make t.n_right 0 in
+  let assignment = Array.make (n_left t) (-1) in
+  let right_load = Array.make (n_right t) 0 in
   let matched = ref 0 in
-  for l = 0 to t.n_left - 1 do
+  for l = 0 to n_left t - 1 do
     Array.iteri
       (fun i a ->
         if Min_cost_flow.flow net a > 0 then begin
@@ -163,21 +204,22 @@ let solve_min_cost t ~edge_cost =
 
 let solve_greedy ?(until_stable = false) ?warm_start ~rounds g t =
   let adj = adjacency t in
-  let assignment = Array.make t.n_left (-1) in
-  let right_load = Array.make t.n_right 0 in
+  let right_cap = Csr.right_cap_array t.csr in
+  let assignment = Array.make (n_left t) (-1) in
+  let right_load = Array.make (n_right t) 0 in
   let matched = ref 0 in
   (* persistent connections: re-seat requests on their previous server
      when it is still adjacent and has capacity *)
   (match warm_start with
   | None -> ()
   | Some ws ->
-      if Array.length ws <> t.n_left then
+      if Array.length ws <> n_left t then
         invalid_arg "Bipartite.solve_greedy: warm_start length mismatch";
       Array.iteri
         (fun l r ->
           if
-            r >= 0 && r < t.n_right
-            && right_load.(r) < t.right_cap.(r)
+            r >= 0 && r < n_right t
+            && right_load.(r) < right_cap.(r)
             && Array.mem r adj.(l)
           then begin
             assignment.(l) <- r;
@@ -187,19 +229,19 @@ let solve_greedy ?(until_stable = false) ?warm_start ~rounds g t =
         ws);
   let progress = ref true in
   let round = ref 0 in
-  while (if until_stable then !progress else !round < rounds) && !matched < t.n_left do
+  while (if until_stable then !progress else !round < rounds) && !matched < n_left t do
     incr round;
     if until_stable && !round > rounds * 1000 then progress := false
     else begin
       progress := false;
       (* 1. proposals: every unmatched request picks one candidate with
          spare capacity, uniformly at random *)
-      let proposals = Array.init (max t.n_right 1) (fun _ -> Vec.create ()) in
-      for l = 0 to t.n_left - 1 do
+      let proposals = Array.init (max (n_right t) 1) (fun _ -> Vec.create ()) in
+      for l = 0 to n_left t - 1 do
         if assignment.(l) = -1 then begin
           let open_candidates =
             Array.to_list adj.(l)
-            |> List.filter (fun r -> right_load.(r) < t.right_cap.(r))
+            |> List.filter (fun r -> right_load.(r) < right_cap.(r))
           in
           match open_candidates with
           | [] -> ()
@@ -209,11 +251,11 @@ let solve_greedy ?(until_stable = false) ?warm_start ~rounds g t =
         end
       done;
       (* 2. acceptance: each box takes a random subset up to capacity *)
-      for r = 0 to t.n_right - 1 do
+      for r = 0 to n_right t - 1 do
         let incoming = Vec.to_array proposals.(r) in
         if Array.length incoming > 0 then begin
           Vod_util.Sample.shuffle g incoming;
-          let accept = min (Array.length incoming) (t.right_cap.(r) - right_load.(r)) in
+          let accept = min (Array.length incoming) (right_cap.(r) - right_load.(r)) in
           for i = 0 to accept - 1 do
             assignment.(incoming.(i)) <- r;
             right_load.(r) <- right_load.(r) + 1;
@@ -228,14 +270,14 @@ let solve_greedy ?(until_stable = false) ?warm_start ~rounds g t =
 
 let is_feasible ?(algorithm = Dinic_flow) t =
   let o = solve ~algorithm t in
-  o.matched = t.n_left
+  o.matched = n_left t
 
 type violator = { requests : int list; servers : int list; server_slots : int }
 
 let hall_violator t =
   let net, src, sink, _middle = build_network t in
   let value = Dinic.max_flow net ~src ~sink in
-  if value = t.n_left then None
+  if value = n_left t then None
   else begin
     (* Source side S of the min cut.  X = requests in S; because
        request->box arcs carry flow at most 1 but have capacity 1 — we
@@ -246,14 +288,15 @@ let hall_violator t =
        certificate exact we rebuild the network with unbounded middle
        arcs. *)
     let adj = adjacency t in
+    let right_cap = Csr.right_cap_array t.csr in
     let left_base = 1 in
-    let right_base = 1 + t.n_left in
-    let sink' = 1 + t.n_left + t.n_right in
+    let right_base = 1 + n_left t in
+    let sink' = 1 + n_left t + n_right t in
     let net' = F.create (sink' + 1) in
-    for l = 0 to t.n_left - 1 do
+    for l = 0 to n_left t - 1 do
       ignore (F.add_edge net' ~src:0 ~dst:(left_base + l) ~cap:1)
     done;
-    for l = 0 to t.n_left - 1 do
+    for l = 0 to n_left t - 1 do
       Array.iter
         (fun r ->
           ignore
@@ -261,20 +304,20 @@ let hall_violator t =
                ~cap:F.infinite_capacity))
         adj.(l)
     done;
-    for r = 0 to t.n_right - 1 do
-      ignore (F.add_edge net' ~src:(right_base + r) ~dst:sink' ~cap:t.right_cap.(r))
+    for r = 0 to n_right t - 1 do
+      ignore (F.add_edge net' ~src:(right_base + r) ~dst:sink' ~cap:right_cap.(r))
     done;
     let value' = Dinic.max_flow net' ~src:0 ~sink:sink' in
     assert (value' = value);
     let reachable = F.residual_reachable net' ~src:0 in
     let requests = ref [] and servers = ref [] and slots = ref 0 in
-    for l = t.n_left - 1 downto 0 do
+    for l = n_left t - 1 downto 0 do
       if Bitset.mem reachable (left_base + l) then requests := l :: !requests
     done;
-    for r = t.n_right - 1 downto 0 do
+    for r = n_right t - 1 downto 0 do
       if Bitset.mem reachable (right_base + r) then begin
         servers := r :: !servers;
-        slots := !slots + t.right_cap.(r)
+        slots := !slots + right_cap.(r)
       end
     done;
     Some { requests = !requests; servers = !servers; server_slots = !slots }
@@ -342,86 +385,80 @@ module Incremental = struct
   (* Validate the caller's warm seats against the *current* instance:
      the previous server must still be adjacent (departures, cache
      expiry) and still within its possibly-shrunk capacity (churn,
-     relay reservation changes).  Returns the cleaned seating and how
-     many seats survived. *)
-  let validate_seats t warm =
-    let cleaned = Array.make t.n_left (-1) in
-    let load = Array.make (max t.n_right 1) 0 in
+     relay reservation changes).  The cleaned seating lands in the
+     arena's [warm] slab (the solver below reads it as its warm start)
+     and the per-right load scratch rides in [right_load], which every
+     solver re-initialises anyway — so validation allocates nothing. *)
+  let validate_seats t arena warm =
+    let csr = csr t in
+    let nl = Csr.n_left csr and nr = Csr.n_right csr in
+    let row_start = Csr.row_start csr and col = Csr.col csr in
+    let right_cap = Csr.right_cap_array csr in
+    let cleaned = Arena.ints arena.Arena.warm (max nl 1) in
+    let load = Arena.ints arena.Arena.right_load (max nr 1) in
+    Array.fill load 0 nr 0;
     let seated = ref 0 in
-    let adj = adjacency t in
-    Array.iteri
-      (fun l r ->
-        if r >= 0 && r < t.n_right && load.(r) < t.right_cap.(r) && Array.mem r adj.(l)
-        then begin
+    for l = 0 to nl - 1 do
+      let r = warm.(l) in
+      cleaned.(l) <- -1;
+      if r >= 0 && r < nr && load.(r) < right_cap.(r) then begin
+        let adjacent = ref false in
+        let i = ref row_start.(l) in
+        let stop = row_start.(l + 1) in
+        while (not !adjacent) && !i < stop do
+          if col.(!i) = r then adjacent := true;
+          incr i
+        done;
+        if !adjacent then begin
           cleaned.(l) <- r;
           load.(r) <- load.(r) + 1;
           incr seated
-        end)
-      warm;
+        end
+      end
+    done;
     (cleaned, !seated)
 
-  (* Dinic with a warm start: pre-push one unit along every validated
-     seat's source -> request -> box -> sink path, then run Dinic on the
-     residual network; it only has to find the augmenting paths the
-     delta disturbed. *)
-  let solve_dinic_warm t cleaned =
-    let net, src, sink, middle, src_arcs, sink_arcs = build_network_full t in
-    let adj = adjacency t in
-    Array.iteri
-      (fun l r ->
-        if r >= 0 then begin
-          let i = ref 0 in
-          while adj.(l).(!i) <> r do
-            incr i
-          done;
-          F.push net src_arcs.(l) 1;
-          F.push net middle.(l).(!i) 1;
-          F.push net sink_arcs.(r) 1
-        end)
-      cleaned;
-    let (_ : int) = Dinic.max_flow net ~src ~sink in
-    outcome_of_flow t net middle
-
-  let solve st ?warm_start t =
+  let solve st ?arena ?warm_start t =
+    let arena = match arena with Some a -> a | None -> Arena.create () in
     st.s_rounds <- st.s_rounds + 1;
     (match warm_start with
-    | Some ws when Array.length ws <> t.n_left ->
+    | Some ws when Array.length ws <> n_left t ->
         invalid_arg "Bipartite.Incremental.solve: warm_start length mismatch"
     | _ -> ());
     let cleaned, seated =
       Vod_obs.Span.with_ ~name:"revalidate" (fun () ->
           match warm_start with
-          | None -> (Array.make t.n_left (-1), 0)
-          | Some ws -> validate_seats t ws)
+          | None ->
+              let cleaned = Arena.ints arena.Arena.warm (max (n_left t) 1) in
+              Array.fill cleaned 0 (n_left t) (-1);
+              (cleaned, 0)
+          | Some ws -> validate_seats t arena ws)
     in
     st.s_reseated <- st.s_reseated + seated;
     Vod_obs.Registry.add obs_reseated seated;
-    let dirty = t.n_left - seated in
+    let dirty = n_left t - seated in
     Vod_obs.Registry.add obs_dirty dirty;
-    if t.n_left > 0 && float_of_int dirty > st.fallback_threshold *. float_of_int t.n_left
+    if
+      n_left t > 0
+      && float_of_int dirty > st.fallback_threshold *. float_of_int (n_left t)
     then begin
       st.s_full <- st.s_full + 1;
       Vod_obs.Registry.incr obs_fallbacks;
-      Vod_obs.Span.with_ ~name:"fallback" (fun () -> solve ~algorithm:st.algorithm t)
+      Vod_obs.Span.with_ ~name:"fallback" (fun () -> solve ~arena ~algorithm:st.algorithm t)
     end
     else begin
       st.s_incremental <- st.s_incremental + 1;
       Vod_obs.Registry.incr obs_repairs;
       let outcome =
         Vod_obs.Span.with_ ~name:"repair" (fun () ->
-            match st.algorithm with
-            | Hopcroft_karp_matching ->
-                let r =
-                  Hopcroft_karp.solve ~warm_start:cleaned ~n_left:t.n_left
-                    ~n_right:t.n_right ~adj:(adjacency t) ~right_cap:t.right_cap ()
-                in
-                {
-                  matched = r.Hopcroft_karp.size;
-                  assignment = r.assignment;
-                  right_load = r.right_load;
-                }
-            | Dinic_flow -> solve_dinic_warm t cleaned
-            | Push_relabel_flow -> assert false)
+            let size =
+              match st.algorithm with
+              | Hopcroft_karp_matching ->
+                  Hopcroft_karp.solve_csr ~warm_start:cleaned ~arena (csr t)
+              | Dinic_flow -> Dinic.solve_csr ~warm_start:cleaned ~arena (csr t)
+              | Push_relabel_flow -> assert false
+            in
+            outcome_of_arena t arena size)
       in
       st.s_repaired <- st.s_repaired + (outcome.matched - seated);
       Vod_obs.Registry.add obs_repaired (outcome.matched - seated);
@@ -429,4 +466,4 @@ module Incremental = struct
     end
 end
 
-let solve_incremental st ?warm_start t = Incremental.solve st ?warm_start t
+let solve_incremental st ?arena ?warm_start t = Incremental.solve st ?arena ?warm_start t

@@ -15,6 +15,12 @@ val create : n_left:int -> n_right:int -> right_cap:int array -> t
 (** @raise Invalid_argument on negative sizes or capacities, or when
     [right_cap] has length other than [n_right]. *)
 
+val reset : t -> n_left:int -> n_right:int -> right_cap:int array -> unit
+(** Rewind to an empty instance of the given (possibly different) shape,
+    reusing every backing buffer — the engine's per-round rebuild path;
+    once buffers reach their high-water mark a reset + refill allocates
+    nothing.  Same validation as {!create}. *)
+
 val add_edge : t -> left:int -> right:int -> unit
 (** Declares that box [right] can serve request [left].  Duplicate edges
     are tolerated (they do not change the instance).
@@ -23,8 +29,17 @@ val add_edge : t -> left:int -> right:int -> unit
 val n_left : t -> int
 val n_right : t -> int
 val right_cap : t -> int array
+
+val csr : t -> Csr.t
+(** The instance's flat CSR representation, finalized (borrowed: owned
+    by the instance, invalidated by {!reset}; mutating it directly is
+    not allowed).  This is what the CSR solver cores traverse; exposed
+    so harnesses can call e.g. [Hopcroft_karp.solve_csr] without an
+    adjacency materialisation. *)
+
 val adjacency : t -> int array array
-(** Left-to-right adjacency with duplicates removed. *)
+(** Left-to-right adjacency, sorted per row with duplicates removed
+    (memoised; allocated on first use — the legacy/certificate view). *)
 
 val degree : t -> int -> int
 (** Number of distinct boxes able to serve a request. *)
@@ -37,8 +52,19 @@ type outcome = {
   right_load : int array;  (** Slots used per box. *)
 }
 
-val solve : ?algorithm:algorithm -> t -> outcome
-(** Maximum matching; default algorithm {!Dinic_flow}. *)
+val solve : ?arena:Arena.t -> ?algorithm:algorithm -> t -> outcome
+(** Maximum matching; default algorithm {!Dinic_flow}.  All three
+    algorithms run their CSR/arena cores; pass [arena] (one per engine /
+    harness / parallel task — arenas are not domain-safe) to reuse the
+    scratch buffers across calls, otherwise a fresh arena is allocated.
+    The returned [outcome] arrays are freshly allocated and owned by the
+    caller either way. *)
+
+val solve_legacy : ?algorithm:algorithm -> t -> outcome
+(** The historical solver paths — an explicit {!Flow_network} for
+    {!Dinic_flow} / {!Push_relabel_flow} and slot expansion for
+    {!Hopcroft_karp_matching} — kept as independent implementations for
+    the vod_check oracle panel to diff against {!solve}. *)
 
 val solve_min_cost : t -> edge_cost:(left:int -> right:int -> int) -> outcome
 (** Maximum matching of minimum total edge cost (successive shortest
@@ -116,15 +142,18 @@ module Incremental : sig
       @raise Invalid_argument on {!Push_relabel_flow} or a threshold
       outside [0, 1]. *)
 
-  val solve : state -> ?warm_start:int array -> t -> outcome
+  val solve : state -> ?arena:Arena.t -> ?warm_start:int array -> t -> outcome
   (** [warm_start] maps each left to its previous server (or -1); seats
       invalidated by the delta are dropped before repair.  Omitting it
       is a cold start (counts as a full solve when [n_left > 0]).
+      [arena] as in {!val:solve}: seat validation and both repair
+      backends run entirely in arena scratch.
       @raise Invalid_argument on a length mismatch. *)
 
   val stats : state -> stats
 end
 
-val solve_incremental : Incremental.state -> ?warm_start:int array -> t -> outcome
+val solve_incremental :
+  Incremental.state -> ?arena:Arena.t -> ?warm_start:int array -> t -> outcome
 (** Alias for {!Incremental.solve}: maximum matching via warm-start
     delta repair with scratch fallback. *)

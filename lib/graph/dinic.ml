@@ -7,7 +7,7 @@ let obs_path_len = Vod_obs.Registry.histogram Vod_obs.Registry.default "dinic.pa
 
 (* Assigns BFS levels over the residual graph; returns true when the sink
    is reachable. *)
-let bfs net ~src ~sink level =
+let bfs_net net ~src ~sink level =
   Array.fill level 0 (Array.length level) (-1);
   level.(src) <- 0;
   let queue = Queue.create () in
@@ -63,7 +63,7 @@ let max_flow ?(limit = max_int) net ~src ~sink =
     end
   in
   (try
-     while !total < limit && bfs net ~src ~sink level do
+     while !total < limit && bfs_net net ~src ~sink level do
        Vod_obs.Registry.incr obs_phases;
        Vod_obs.Registry.observe obs_path_len level.(sink);
        Array.fill it 0 n 0;
@@ -80,3 +80,175 @@ let max_flow ?(limit = max_int) net ~src ~sink =
      done
    with Exit -> ());
   !total
+
+(* CSR bipartite specialisation.  The four-layer network
+   (src -> lefts cap 1 -> rights via the CSR edges cap 1 -> sink with
+   cap right_cap) is kept implicit: a left's unit is represented by the
+   CSR edge id carrying it ([matched_edge], -1 when free at the source)
+   and the sink arcs by per-right load counters.  Reverse-residual
+   traversal (right -> matched occupant) runs over a CSR transpose built
+   in the arena by counting sort.  All scratch lives in the arena, so
+   steady-state calls allocate nothing. *)
+let solve_csr ?warm_start ~arena csr =
+  let nl = Csr.n_left csr and nr = Csr.n_right csr in
+  let row_start = Csr.row_start csr and col = Csr.col csr in
+  let cap = Csr.right_cap_array csr in
+  let m = Csr.n_edges csr in
+  let matched_edge = Arena.ints arena.Arena.matched_edge (max nl 1) in
+  let load = Arena.ints arena.Arena.right_load (max nr 1) in
+  let level = Arena.ints arena.Arena.level (max (nl + nr) 1) in
+  let queue = Arena.ints arena.Arena.queue (max (nl + nr) 1) in
+  let it_left = Arena.ints arena.Arena.it_left (max nl 1) in
+  let it_right = Arena.ints arena.Arena.it_right (max nr 1) in
+  let t_row_start = Arena.ints arena.Arena.t_row_start (nr + 1) in
+  let t_eid = Arena.ints arena.Arena.t_eid (max m 1) in
+  let edge_left = Arena.ints arena.Arena.edge_left (max m 1) in
+  (* transpose: incoming edge ids per right, via counting sort *)
+  Array.fill t_row_start 0 (nr + 1) 0;
+  for l = 0 to nl - 1 do
+    for e = row_start.(l) to row_start.(l + 1) - 1 do
+      edge_left.(e) <- l;
+      let r = col.(e) in
+      t_row_start.(r + 1) <- t_row_start.(r + 1) + 1
+    done
+  done;
+  for r = 0 to nr - 1 do
+    t_row_start.(r + 1) <- t_row_start.(r + 1) + t_row_start.(r);
+    it_right.(r) <- t_row_start.(r)
+  done;
+  for e = 0 to m - 1 do
+    let r = col.(e) in
+    t_eid.(it_right.(r)) <- e;
+    it_right.(r) <- it_right.(r) + 1
+  done;
+  Array.fill matched_edge 0 nl (-1);
+  Array.fill load 0 nr 0;
+  let size = ref 0 in
+  (match warm_start with
+  | None -> ()
+  | Some ws ->
+      (* at least [nl]: arena slabs are capacity-sized, extra cells ignored *)
+      if Array.length ws < nl then invalid_arg "Dinic.solve_csr: warm_start length";
+      for l = 0 to nl - 1 do
+        let r = ws.(l) in
+        if r >= 0 && r < nr && load.(r) < cap.(r) then begin
+          let e = ref (-1) in
+          let i = ref row_start.(l) in
+          let stop = row_start.(l + 1) in
+          while !e < 0 && !i < stop do
+            if col.(!i) = r then e := !i;
+            incr i
+          done;
+          if !e >= 0 then begin
+            matched_edge.(l) <- !e;
+            load.(r) <- load.(r) + 1;
+            incr size
+          end
+        end
+      done);
+  (* sink distance of the phase's level graph, for the path-length
+     histogram: implicit levels start at the free lefts, so the full
+     network's src->..->sink hop count is the right's level + 2 *)
+  let sink_level = ref 0 in
+  let bfs () =
+    Array.fill level 0 (nl + nr) (-1);
+    let head = ref 0 and tail = ref 0 in
+    for l = 0 to nl - 1 do
+      if matched_edge.(l) = -1 then begin
+        level.(l) <- 0;
+        queue.(!tail) <- l;
+        incr tail
+      end
+    done;
+    let found = ref false in
+    sink_level := max_int;
+    while !head < !tail do
+      let v = queue.(!head) in
+      incr head;
+      if v < nl then
+        (* left: forward residual arcs are its CSR edges minus the one
+           carrying its unit *)
+        for e = row_start.(v) to row_start.(v + 1) - 1 do
+          if e <> matched_edge.(v) then begin
+            let w = nl + col.(e) in
+            if level.(w) < 0 then begin
+              level.(w) <- level.(v) + 1;
+              let r = col.(e) in
+              if load.(r) < cap.(r) && level.(w) < !sink_level then begin
+                found := true;
+                sink_level := level.(w)
+              end;
+              queue.(!tail) <- w;
+              incr tail
+            end
+          end
+        done
+      else begin
+        (* right: reverse residual arcs point to its current occupants *)
+        let r = v - nl in
+        for j = t_row_start.(r) to t_row_start.(r + 1) - 1 do
+          let e = t_eid.(j) in
+          let l' = edge_left.(e) in
+          if matched_edge.(l') = e && level.(l') < 0 then begin
+            level.(l') <- level.(v) + 1;
+            queue.(!tail) <- l';
+            incr tail
+          end
+        done
+      end
+    done;
+    !found
+  in
+  let rec dfs_left l =
+    let res = ref false in
+    while (not !res) && it_left.(l) < row_start.(l + 1) do
+      let e = it_left.(l) in
+      let r = col.(e) in
+      if e <> matched_edge.(l) && level.(nl + r) = level.(l) + 1 && dfs_right r then begin
+        matched_edge.(l) <- e;
+        res := true
+      end
+      else it_left.(l) <- it_left.(l) + 1
+    done;
+    !res
+  and dfs_right r =
+    if load.(r) < cap.(r) then begin
+      load.(r) <- load.(r) + 1;
+      true
+    end
+    else begin
+      let res = ref false in
+      while (not !res) && it_right.(r) < t_row_start.(r + 1) do
+        let e = t_eid.(it_right.(r)) in
+        let l' = edge_left.(e) in
+        if matched_edge.(l') = e && level.(l') = level.(nl + r) + 1 && dfs_left l' then
+          (* l' rerouted its unit ([matched_edge.(l')] changed inside
+             [dfs_left]); the seat it held on [r] transfers to the
+             caller's unit, so [load.(r)] is unchanged *)
+          res := true
+        else it_right.(r) <- it_right.(r) + 1
+      done;
+      !res
+    end
+  in
+  while bfs () do
+    Vod_obs.Registry.incr obs_phases;
+    Vod_obs.Registry.observe obs_path_len (!sink_level + 2);
+    for l = 0 to nl - 1 do
+      it_left.(l) <- row_start.(l)
+    done;
+    for r = 0 to nr - 1 do
+      it_right.(r) <- t_row_start.(r)
+    done;
+    for l = 0 to nl - 1 do
+      if matched_edge.(l) = -1 && dfs_left l then begin
+        incr size;
+        Vod_obs.Registry.incr obs_paths
+      end
+    done
+  done;
+  let assignment = Arena.ints arena.Arena.assignment (max nl 1) in
+  for l = 0 to nl - 1 do
+    assignment.(l) <- (if matched_edge.(l) = -1 then -1 else col.(matched_edge.(l)))
+  done;
+  !size

@@ -14,17 +14,31 @@ type t = {
 
 let infinite_capacity = max_int / 4
 
-let create n =
+let create ?(arc_hint = 0) n =
   if n < 0 then invalid_arg "Flow_network.create: negative node count";
+  if arc_hint < 0 then invalid_arg "Flow_network.create: negative arc hint";
+  let sized () =
+    let v = Vec.create () in
+    Vec.ensure_capacity v arc_hint 0;
+    v
+  in
   {
     n;
     first = Array.make (max n 1) (-1);
-    next = Vec.create ();
-    dst = Vec.create ();
-    src = Vec.create ();
-    cap = Vec.create ();
-    original_cap = Vec.create ();
+    next = sized ();
+    dst = sized ();
+    src = sized ();
+    cap = sized ();
+    original_cap = sized ();
   }
+
+let clear t =
+  Array.fill t.first 0 (Array.length t.first) (-1);
+  Vec.clear t.next;
+  Vec.clear t.dst;
+  Vec.clear t.src;
+  Vec.clear t.cap;
+  Vec.clear t.original_cap
 
 let node_count t = t.n
 let arc_count t = Vec.length t.dst

@@ -14,8 +14,16 @@ type arc = int
 val infinite_capacity : int
 (** A capacity treated as unbounded ([max_int/4], safe against summing). *)
 
-val create : int -> t
-(** [create n] is an empty network on nodes [0..n-1]. *)
+val create : ?arc_hint:int -> int -> t
+(** [create n] is an empty network on nodes [0..n-1].  [arc_hint]
+    pre-sizes the arc store (in arc cells, i.e. twice the edge count)
+    so that building a network of known shape performs no growth
+    re-allocations.  @raise Invalid_argument on negative arguments. *)
+
+val clear : t -> unit
+(** Drop every arc, keeping the node set and the arc store's capacity —
+    the reuse path for rebuilding a same-shaped network without
+    re-allocation (see also {!reset_flow}, which keeps the topology). *)
 
 val node_count : t -> int
 

@@ -7,10 +7,147 @@ let obs_phases = Vod_obs.Registry.counter Vod_obs.Registry.default "hk.bfs_phase
 let obs_paths = Vod_obs.Registry.counter Vod_obs.Registry.default "hk.augmenting_paths"
 let obs_path_len = Vod_obs.Registry.histogram Vod_obs.Registry.default "hk.path_length"
 
-(* Right vertices are expanded into unit "slots" (one per capacity unit),
-   reducing the capacitated problem to textbook Hopcroft-Karp.  Slot ids
-   for right [r] are [slot_start.(r) .. slot_start.(r+1) - 1]. *)
-let solve ?warm_start ~n_left ~n_right ~adj ~right_cap () =
+(* Flat CSR core.  Right capacities are handled with per-right seat
+   counters instead of slot expansion: the seats taken on right [r] sit
+   compactly in [seats.(seat_start.(r)) .. seats.(seat_start.(r) +
+   fill.(r) - 1)] (each cell holding the occupying left), so a free seat
+   is an O(1) counter test and relaxing the occupants of [r] scans
+   exactly [fill.(r)] cells.  The compaction invariant holds because a
+   seat, once taken, is only ever transferred (displacement swaps the
+   occupant in place), never vacated, within one solve.  All scratch
+   lives in the arena: steady-state calls allocate nothing. *)
+let solve_csr ?warm_start ~arena csr =
+  let nl = Csr.n_left csr and nr = Csr.n_right csr in
+  let row_start = Csr.row_start csr and col = Csr.col csr in
+  let cap = Csr.right_cap_array csr in
+  let seat_start = Arena.ints arena.Arena.seat_start (nr + 1) in
+  seat_start.(0) <- 0;
+  for r = 0 to nr - 1 do
+    seat_start.(r + 1) <- seat_start.(r) + cap.(r)
+  done;
+  let match_left = Arena.ints arena.Arena.assignment (max nl 1) in
+  let fill = Arena.ints arena.Arena.right_load (max nr 1) in
+  let seats = Arena.ints arena.Arena.seats (max seat_start.(nr) 1) in
+  let dist = Arena.ints arena.Arena.hk_dist (max nl 1) in
+  let queue = Arena.ints arena.Arena.queue (max nl 1) in
+  Array.fill match_left 0 nl (-1);
+  Array.fill fill 0 nr 0;
+  let size = ref 0 in
+  (* Warm start: re-seat each request on its previous box when that box
+     is still adjacent and has a free seat.  The seats form a valid
+     partial matching, so the phases below only have to augment from the
+     requests the round-to-round delta actually disturbed (Berge:
+     augmenting to exhaustion from any matching reaches a maximum). *)
+  (match warm_start with
+  | None -> ()
+  | Some ws ->
+      (* at least [nl]: arena slabs are capacity-sized, extra cells ignored *)
+      if Array.length ws < nl then
+        invalid_arg "Hopcroft_karp.solve_csr: warm_start length";
+      for l = 0 to nl - 1 do
+        let r = ws.(l) in
+        if r >= 0 && r < nr && fill.(r) < cap.(r) then begin
+          let adjacent = ref false in
+          let i = ref row_start.(l) in
+          let stop = row_start.(l + 1) in
+          while (not !adjacent) && !i < stop do
+            if col.(!i) = r then adjacent := true;
+            incr i
+          done;
+          if !adjacent then begin
+            seats.(seat_start.(r) + fill.(r)) <- l;
+            fill.(r) <- fill.(r) + 1;
+            match_left.(l) <- r;
+            incr size
+          end
+        end
+      done);
+  let bfs () =
+    let head = ref 0 and tail = ref 0 in
+    Array.fill dist 0 nl infinity_dist;
+    for l = 0 to nl - 1 do
+      if match_left.(l) = -1 then begin
+        dist.(l) <- 0;
+        queue.(!tail) <- l;
+        incr tail
+      end
+    done;
+    let found = ref false in
+    while !head < !tail do
+      let l = queue.(!head) in
+      incr head;
+      for i = row_start.(l) to row_start.(l + 1) - 1 do
+        let r = col.(i) in
+        if fill.(r) < cap.(r) then found := true
+        else begin
+          let stop = seat_start.(r) + fill.(r) in
+          for s = seat_start.(r) to stop - 1 do
+            let l' = seats.(s) in
+            if dist.(l') = infinity_dist then begin
+              dist.(l') <- dist.(l) + 1;
+              queue.(!tail) <- l';
+              incr tail
+            end
+          done
+        end
+      done
+    done;
+    !found
+  in
+  (* depth of the frame that found a free seat, in left-vertex hops:
+     the augmenting path has [2 * depth + 1] edges *)
+  let found_depth = ref 0 in
+  let rec try_augment l depth =
+    let success = ref false in
+    let i = ref row_start.(l) in
+    let stop_i = row_start.(l + 1) in
+    while (not !success) && !i < stop_i do
+      let r = col.(!i) in
+      if fill.(r) < cap.(r) then begin
+        found_depth := depth;
+        seats.(seat_start.(r) + fill.(r)) <- l;
+        fill.(r) <- fill.(r) + 1;
+        match_left.(l) <- r;
+        success := true
+      end
+      else begin
+        let s = ref seat_start.(r) in
+        (* [fill.(r)] is pinned at [cap.(r)] here, so the segment bound
+           cannot move under the recursion *)
+        let stop_s = seat_start.(r) + fill.(r) in
+        while (not !success) && !s < stop_s do
+          let owner = seats.(!s) in
+          if dist.(owner) = dist.(l) + 1 && try_augment owner (depth + 1) then begin
+            seats.(!s) <- l;
+            match_left.(l) <- r;
+            success := true
+          end;
+          incr s
+        done
+      end;
+      incr i
+    done;
+    if not !success then dist.(l) <- infinity_dist;
+    !success
+  in
+  while bfs () do
+    Vod_obs.Registry.incr obs_phases;
+    for l = 0 to nl - 1 do
+      if match_left.(l) = -1 && try_augment l 0 then begin
+        incr size;
+        Vod_obs.Registry.incr obs_paths;
+        Vod_obs.Registry.observe obs_path_len ((2 * !found_depth) + 1)
+      end
+    done
+  done;
+  !size
+
+(* Legacy path: right vertices expanded into unit "slots" (one per
+   capacity unit), reducing the capacitated problem to textbook
+   Hopcroft-Karp.  Slot ids for right [r] are [slot_start.(r) ..
+   slot_start.(r+1) - 1].  Kept as an independent implementation so the
+   vod_check oracle panel can diff the CSR core against it. *)
+let solve_slots ?warm_start ~n_left ~n_right ~adj ~right_cap () =
   if Array.length adj <> n_left then invalid_arg "Hopcroft_karp.solve: adj length";
   if Array.length right_cap <> n_right then
     invalid_arg "Hopcroft_karp.solve: right_cap length";
@@ -39,11 +176,6 @@ let solve ?warm_start ~n_left ~n_right ~adj ~right_cap () =
   let match_left = Array.make n_left (-1) (* left -> slot *) in
   let match_slot = Array.make (max n_slots 1) (-1) (* slot -> left *) in
   let size = ref 0 in
-  (* Warm start: re-seat each request on its previous box when that box
-     is still adjacent and has a free slot.  The seats form a valid
-     partial matching, so the phases below only have to augment from the
-     requests the round-to-round delta actually disturbed (Berge:
-     augmenting to exhaustion from any matching reaches a maximum). *)
   (match warm_start with
   | None -> ()
   | Some ws ->
@@ -95,8 +227,6 @@ let solve ?warm_start ~n_left ~n_right ~adj ~right_cap () =
     done;
     !found
   in
-  (* depth of the frame that found a free slot, in left-vertex hops:
-     the augmenting path has [2 * depth + 1] edges *)
   let found_depth = ref 0 in
   let rec try_augment l depth =
     let success = ref false in
@@ -139,3 +269,29 @@ let solve ?warm_start ~n_left ~n_right ~adj ~right_cap () =
   let right_load = Array.make n_right 0 in
   Array.iter (fun r -> if r >= 0 then right_load.(r) <- right_load.(r) + 1) assignment;
   { size = !size; assignment; right_load }
+
+(* Thin shim over the CSR core: same signature and validation as the
+   historical entry point, paying one instance + arena allocation. *)
+let solve ?warm_start ~n_left ~n_right ~adj ~right_cap () =
+  if Array.length adj <> n_left then invalid_arg "Hopcroft_karp.solve: adj length";
+  if Array.length right_cap <> n_right then
+    invalid_arg "Hopcroft_karp.solve: right_cap length";
+  (match warm_start with
+  | Some ws when Array.length ws <> n_left ->
+      invalid_arg "Hopcroft_karp.solve: warm_start length"
+  | _ -> ());
+  Array.iter
+    (fun c -> if c < 0 then invalid_arg "Hopcroft_karp.solve: negative cap")
+    right_cap;
+  Array.iter
+    (Array.iter (fun r ->
+         if r < 0 || r >= n_right then invalid_arg "Hopcroft_karp.solve: adj out of range"))
+    adj;
+  let csr = Csr.of_adjacency ~right_cap ~n_right adj in
+  let arena = Arena.create () in
+  let size = solve_csr ?warm_start ~arena csr in
+  {
+    size;
+    assignment = Array.sub (Arena.assignment arena) 0 n_left;
+    right_load = Array.sub (Arena.right_load arena) 0 n_right;
+  }

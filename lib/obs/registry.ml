@@ -118,6 +118,19 @@ let hist_percentile h p =
     if i = 0 then 1.0 else 1.5 *. (2.0 ** float_of_int i)
   end
 
+(* Merge one registry into another, creating missing handles by name.
+   Counters and histograms are additive; gauges are level samples with
+   no meaningful sum, so the maximum observed level is kept — for the
+   per-task registries of a parallel sweep that yields fleet peaks. *)
+let absorb ~into src =
+  Hashtbl.iter (fun name c -> add (counter into name) c.c_value) src.counters;
+  Hashtbl.iter
+    (fun name g ->
+      let dst = gauge into name in
+      if g.g_value > dst.g_value then dst.g_value <- g.g_value)
+    src.gauges;
+  Hashtbl.iter (fun name h -> merge ~into:(histogram into name) h) src.histograms
+
 let reset t =
   Hashtbl.iter (fun _ c -> c.c_value <- 0) t.counters;
   Hashtbl.iter (fun _ g -> g.g_value <- 0) t.gauges;

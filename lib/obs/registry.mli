@@ -61,6 +61,13 @@ val hist_percentile : histogram -> float -> float
 val bucket_of : int -> int
 (** The bucket index a value falls into (exposed for tests). *)
 
+val absorb : into:t -> t -> unit
+(** Merge a whole registry into another, find-or-creating handles by
+    name: counters and histograms accumulate (as {!add} / {!merge}),
+    gauges keep the maximum of the two levels.  The parallel sweep
+    runner gives each task a private registry and absorbs them into one
+    after the join, so recording never needs synchronisation. *)
+
 val reset : t -> unit
 (** Zero every value in place; existing handles keep recording. *)
 

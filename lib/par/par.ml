@@ -1,0 +1,38 @@
+(* Backend-independent chunking and failure plumbing.  The backend
+   (selected at build time on the OCaml version, see dune) only knows
+   how to run an array of exception-free thunks to completion. *)
+
+let backend = Par_backend.backend
+let default_jobs () = Par_backend.default_jobs ()
+
+let map ?jobs ~f n =
+  if n < 0 then invalid_arg "Par.map: negative task count";
+  let jobs =
+    match jobs with
+    | None -> default_jobs ()
+    | Some j -> if j < 1 then invalid_arg "Par.map: jobs < 1" else j
+  in
+  if n = 0 then [||]
+  else begin
+    let jobs = min jobs n in
+    (* Each cell is written by exactly one worker and read only after
+       the join, so no synchronisation is needed on [results]. *)
+    let results = Array.make n None in
+    let failure = Atomic.make None in
+    let worker w () =
+      let lo = w * n / jobs and hi = (w + 1) * n / jobs in
+      for i = lo to hi - 1 do
+        if Atomic.get failure = None then
+          match f i with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+      done
+    in
+    Par_backend.run (Array.init jobs (fun w -> worker w));
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end

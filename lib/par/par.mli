@@ -1,0 +1,30 @@
+(** Deterministic parallel task runner for sweeps and benchmarks.
+
+    {!map} fans [n] independent tasks out over worker domains (OCaml
+    >= 5; on 4.14 the library transparently degrades to a sequential
+    backend) and returns the results indexed by task.  The contract
+    that keeps results bit-identical across backends and job counts:
+
+    - tasks must be {e independent} — no shared mutable state.  Give
+      each task its own PRNG stream (derive the seed from the task
+      index), its own {!Vod_graph.Arena.t} and its own
+      {!Vod_obs.Registry.t} (absorb them after the join);
+    - the task function may raise: the first failure (in task order
+      within a worker; which worker wins is unspecified) is re-raised
+      from {!map} after all workers have stopped. *)
+
+val backend : string
+(** ["domains"] or ["sequential"] — which backend this build linked. *)
+
+val default_jobs : unit -> int
+(** Worker count used when [jobs] is omitted: the recommended domain
+    count minus one on the domains backend, [1] on the sequential
+    backend. *)
+
+val map : ?jobs:int -> f:(int -> 'a) -> int -> 'a array
+(** [map ~f n] computes [[| f 0; ...; f (n - 1) |]], running up to
+    [jobs] tasks concurrently (contiguous index chunks, one per
+    worker).  Results are positioned by index, so the output never
+    depends on scheduling.  Remaining tasks are skipped once a failure
+    is recorded; the failure is re-raised with its backtrace.
+    @raise Invalid_argument on [n < 0] or [jobs < 1]. *)

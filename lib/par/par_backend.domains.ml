@@ -1,0 +1,12 @@
+(* Multicore backend: one Domain per worker thunk.  Worker thunks are
+   exception-free by construction (Par wraps the user function), so
+   [Domain.join] never re-raises. *)
+
+let backend = "domains"
+
+(* Leave one core for the spawning domain; at least one worker. *)
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let run workers =
+  let domains = Array.map Domain.spawn workers in
+  Array.iter Domain.join domains

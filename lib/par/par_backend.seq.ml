@@ -1,0 +1,8 @@
+(* Sequential fallback for OCaml < 5 (no Domain in the stdlib): worker
+   thunks run one after another on the calling thread.  Results are
+   identical to the domains backend because tasks are independent by
+   contract. *)
+
+let backend = "sequential"
+let default_jobs () = 1
+let run workers = Array.iter (fun w -> w ()) workers

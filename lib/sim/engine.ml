@@ -68,6 +68,10 @@ type t = {
   pending : (int * int) Vec.t; (* (box, video) demands for the next step *)
   mutable last_violator : Vod_graph.Bipartite.violator option;
   mutable last_instance : Vod_graph.Bipartite.t option;
+  inst : Vod_graph.Bipartite.t;
+      (* the one matching instance, reset and refilled every round *)
+  arena : Vod_graph.Arena.t; (* solver scratch, allocated once per engine *)
+  right_cap_scratch : int array; (* per-round online-masked capacities *)
   inc_state : Vod_graph.Bipartite.Incremental.state option;
       (* warm-start matcher, Some iff matching = Incremental *)
   sched_rng : Vod_util.Prng.t; (* randomness for the decentralised scheduler *)
@@ -125,6 +129,9 @@ let create ~params ~fleet ~alloc ?compensation ?(policy = Fail_fast)
     sched_rng = Vod_util.Prng.create ~seed:0x7ea ();
     last_violator = None;
     last_instance = None;
+    inst = Vod_graph.Bipartite.create ~n_left:0 ~n_right:n ~right_cap:(Array.make n 0);
+    arena = Vod_graph.Arena.create ();
+    right_cap_scratch = Array.make n 0;
     inc_state =
       (match matching with
       | Scratch -> None
@@ -409,10 +416,15 @@ let step t =
     let requests = Vec.to_array t.active in
     let n_left = Array.length requests in
     let n = t.params.Params.n in
-    let right_cap =
-      Array.mapi (fun b cap -> if t.online.(b) then cap else 0) t.capacity
-    in
-    let instance = Vod_graph.Bipartite.create ~n_left ~n_right:n ~right_cap in
+    for b = 0 to n - 1 do
+      t.right_cap_scratch.(b) <- (if t.online.(b) then t.capacity.(b) else 0)
+    done;
+    (* refill the persistent instance in place: once its buffers reach
+       the run's high-water mark, the whole build phase stops
+       allocating *)
+    let instance = t.inst in
+    Vod_graph.Bipartite.reset instance ~n_left ~n_right:n
+      ~right_cap:t.right_cap_scratch;
     Array.iteri
       (fun l req ->
         Array.iter
@@ -452,9 +464,9 @@ let step t =
     | Arbitrary -> (
         match t.inc_state with
         | Some st ->
-            Vod_graph.Bipartite.solve_incremental st ~warm_start:(incremental_warm ())
-              instance
-        | None -> Vod_graph.Bipartite.solve instance)
+            Vod_graph.Bipartite.solve_incremental st ~arena:t.arena
+              ~warm_start:(incremental_warm ()) instance
+        | None -> Vod_graph.Bipartite.solve ~arena:t.arena instance)
     | Prefer_cache ->
         (* serving from a static replica costs 1, from a cache 0: among
            maximum matchings, minimise the load on the allocation *)
@@ -471,8 +483,8 @@ let step t =
                rewires only along repair augmenting paths — the
                incremental analogue of the min-churn objective, at a
                fraction of the min-cost-flow price *)
-            Vod_graph.Bipartite.solve_incremental st ~warm_start:(incremental_warm ())
-              instance
+            Vod_graph.Bipartite.solve_incremental st ~arena:t.arena
+              ~warm_start:(incremental_warm ()) instance
         | None ->
             (* keeping last round's connection costs 0, rewiring costs 1:
                among maximum matchings, minimise connection churn *)

@@ -220,7 +220,9 @@ val last_instance : t -> Vod_graph.Bipartite.t option
     {!step} ([None] before the first round).  Exposed so the
     verification subsystem ([vod_check]) can audit the engine's
     matchings and Hall certificates against the very instance the
-    scheduler solved. *)
+    scheduler solved.  The engine reuses one instance across rounds
+    (resetting it in place), so the returned value is only meaningful
+    until the next {!step}. *)
 
 val video_request_stats : t -> (int * int * int * int) list
 (** For each video with active requests, [(video, i, i1, servers)]:

@@ -34,6 +34,21 @@ let pop t =
   t.data.(t.len)
 
 let clear t = t.len <- 0
+
+let ensure_capacity t n x =
+  if n < 0 then invalid_arg "Vec.ensure_capacity: negative capacity";
+  let cap = Array.length t.data in
+  if cap < n then begin
+    (* Amortised doubling, so interleaving [ensure_capacity] with [push]
+       keeps the O(1) amortised push bound. *)
+    let cap' = ref (max 8 cap) in
+    while !cap' < n do
+      cap' := 2 * !cap'
+    done;
+    let data' = Array.make !cap' x in
+    Array.blit t.data 0 data' 0 t.len;
+    t.data <- data'
+  end
 let to_array t = Array.sub t.data 0 t.len
 
 let of_array a = { data = Array.copy a; len = Array.length a }

@@ -16,6 +16,13 @@ val pop : 'a t -> 'a
 val clear : 'a t -> unit
 (** Logical clear; capacity is retained. *)
 
+val ensure_capacity : 'a t -> int -> 'a -> unit
+(** [ensure_capacity t n x] grows the backing store to hold at least [n]
+    elements without further allocation (amortised doubling, capacity
+    never shrinks).  [x] seeds the fresh cells; [length t] is unchanged.
+    A no-op when the capacity already suffices.
+    @raise Invalid_argument if [n < 0]. *)
+
 val to_array : 'a t -> 'a array
 val of_array : 'a array -> 'a t
 val iter : ('a -> unit) -> 'a t -> unit

@@ -353,6 +353,111 @@ let test_hall_iff_expansion () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* CSR builder and solver arenas                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The reference normal form: per-row sorted, deduplicated. *)
+let normalise adj =
+  Array.map
+    (fun row ->
+      let sorted = Array.copy row in
+      Array.sort compare sorted;
+      Array.of_list (List.sort_uniq compare (Array.to_list sorted)))
+    adj
+
+let test_csr_roundtrip_basic () =
+  (* duplicates, an empty row, unsorted insertion order *)
+  let adj = [| [| 2; 0; 2; 1 |]; [||]; [| 1; 1 |] |] in
+  let csr = Csr.of_adjacency ~n_right:3 adj in
+  checki "n_left" 3 (Csr.n_left csr);
+  checki "n_right" 3 (Csr.n_right csr);
+  checki "distinct edges" 4 (Csr.n_edges csr);
+  Alcotest.check (Alcotest.array (Alcotest.array Alcotest.int)) "round-trip" (normalise adj)
+    (Csr.to_adjacency csr);
+  checki "degree dedups" 3 (Csr.degree csr 0);
+  checki "degree empty" 0 (Csr.degree csr 1);
+  checkb "mem" true (Csr.mem csr ~left:0 ~right:1);
+  checkb "not mem" false (Csr.mem csr ~left:1 ~right:0)
+
+let test_csr_builder_reuse () =
+  let csr = Csr.create () in
+  (* two fills of different shapes through the same buffers *)
+  Csr.load_adjacency csr ~n_right:4 [| [| 3; 3; 0 |]; [| 2 |] |];
+  Alcotest.check (Alcotest.array (Alcotest.array Alcotest.int)) "first fill"
+    [| [| 0; 3 |]; [| 2 |] |]
+    (Csr.to_adjacency csr);
+  Csr.load_adjacency csr ~right_cap:[| 5; 6 |] ~n_right:2 [| [| 1 |]; [| 0; 1 |]; [||] |];
+  Alcotest.check (Alcotest.array (Alcotest.array Alcotest.int)) "second fill"
+    [| [| 1 |]; [| 0; 1 |]; [||] |]
+    (Csr.to_adjacency csr);
+  checki "caps follow the refill" 6 (Csr.right_cap csr 1);
+  (* incremental add_edge after a finalize reuses the pending list *)
+  Csr.add_edge csr ~left:2 ~right:0;
+  checki "edge count grows" 4 (Csr.n_edges csr);
+  checkb "new edge visible" true (Csr.mem csr ~left:2 ~right:0)
+
+let outcome_triple (o : Bipartite.outcome) =
+  (o.Bipartite.matched, Array.to_list o.Bipartite.assignment, Array.to_list o.Bipartite.right_load)
+
+let test_arena_reuse_deterministic () =
+  let g = Prng.create ~seed:0xa3e () in
+  let arena = Arena.create () in
+  List.iter
+    (fun algorithm ->
+      for _ = 1 to 20 do
+        let n_left = 1 + Prng.int g 12 and n_right = 1 + Prng.int g 8 in
+        let adj, right_cap =
+          random_bipartite g ~n_left ~n_right ~max_cap:3 ~edge_prob:0.5
+        in
+        let b = Bipartite.create ~n_left ~n_right ~right_cap in
+        Array.iteri
+          (fun l rs -> Array.iter (fun r -> Bipartite.add_edge b ~left:l ~right:r) rs)
+          adj;
+        (* same instance twice through the same dirty arena: solvers must
+           initialise everything they read, so outcomes are identical *)
+        let o1 = Bipartite.solve ~arena ~algorithm b in
+        let o2 = Bipartite.solve ~arena ~algorithm b in
+        checkb "dirty-arena determinism" true (outcome_triple o1 = outcome_triple o2);
+        checki "agrees with legacy" (Bipartite.solve_legacy ~algorithm b).Bipartite.matched
+          o1.Bipartite.matched
+      done)
+    [ Bipartite.Dinic_flow; Bipartite.Push_relabel_flow; Bipartite.Hopcroft_karp_matching ]
+
+let test_bipartite_reset_reuse () =
+  let b = Bipartite.create ~n_left:2 ~n_right:2 ~right_cap:[| 1; 1 |] in
+  Bipartite.add_edge b ~left:0 ~right:0;
+  Bipartite.add_edge b ~left:1 ~right:0;
+  checki "first shape matched" 1 (Bipartite.solve b).Bipartite.matched;
+  (* rewind to a different shape, reusing every buffer *)
+  Bipartite.reset b ~n_left:3 ~n_right:2 ~right_cap:[| 2; 1 |];
+  checki "edges dropped by reset" 0 (Bipartite.degree b 0);
+  Bipartite.add_edge b ~left:0 ~right:0;
+  Bipartite.add_edge b ~left:1 ~right:0;
+  Bipartite.add_edge b ~left:2 ~right:1;
+  let o = Bipartite.solve b in
+  checki "second shape matched" 3 o.Bipartite.matched;
+  checki "right load follows the new caps" 2 o.Bipartite.right_load.(0);
+  Alcotest.check_raises "reset validates caps"
+    (Invalid_argument "Bipartite.reset: right_cap length mismatch") (fun () ->
+      Bipartite.reset b ~n_left:1 ~n_right:3 ~right_cap:[| 1 |])
+
+let test_network_clear_reuse () =
+  (* arc_hint pre-sizes; clear drops arcs but keeps nodes and capacity *)
+  let net = Flow_network.create ~arc_hint:8 4 in
+  let a = Flow_network.add_edge net ~src:0 ~dst:1 ~cap:5 in
+  let _ = Flow_network.add_edge net ~src:1 ~dst:3 ~cap:2 in
+  Flow_network.push net a 1;
+  Flow_network.clear net;
+  checki "arcs dropped" 0 (Flow_network.arc_count net);
+  checki "nodes kept" 4 (Flow_network.node_count net);
+  let b = Flow_network.add_edge net ~src:0 ~dst:3 ~cap:7 in
+  checki "rebuild starts clean" 0 (Flow_network.flow net b);
+  checki "rebuild max flow" 7 (Dinic.max_flow net ~src:0 ~sink:3);
+  Alcotest.check_raises "negative hint"
+    (Invalid_argument "Flow_network.create: negative arc hint") (fun () ->
+      ignore (Flow_network.create ~arc_hint:(-1) 2))
+
+(* ------------------------------------------------------------------ *)
 (* QCheck properties                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -424,6 +529,51 @@ let qcheck_cases =
             && neighbours_covered
             && slots = v.Bipartite.server_slots
             && slots < List.length v.Bipartite.requests);
+    Test.make ~name:"CSR builder round-trips arbitrary adjacencies" ~count:200 arb
+      (fun (seed, n_left, n_right) ->
+        let g = Prng.create ~seed () in
+        let adj, right_cap =
+          random_bipartite g ~n_left ~n_right ~max_cap:3 ~edge_prob:0.5
+        in
+        (* inject duplicates and keep some rows empty *)
+        let adj =
+          Array.map
+            (fun row ->
+              if Array.length row > 0 && Prng.bool g then
+                Array.append row [| row.(Prng.int g (Array.length row)) |]
+              else row)
+            adj
+        in
+        let csr = Csr.of_adjacency ~right_cap ~n_right adj in
+        Csr.to_adjacency csr = normalise adj
+        && Csr.n_edges csr = Array.fold_left (fun a r -> a + Array.length r) 0 (normalise adj));
+    Test.make ~name:"dirty-arena solves are deterministic and optimal" ~count:100 arb
+      (fun (seed, n_left, n_right) ->
+        let g = Prng.create ~seed () in
+        let adj, right_cap =
+          random_bipartite g ~n_left ~n_right ~max_cap:3 ~edge_prob:0.5
+        in
+        let b = Bipartite.create ~n_left ~n_right ~right_cap in
+        Array.iteri
+          (fun l rs -> Array.iter (fun r -> Bipartite.add_edge b ~left:l ~right:r) rs)
+          adj;
+        let arena = Arena.create () in
+        (* dirty the arena on a different shape first *)
+        let noise = Bipartite.create ~n_left:5 ~n_right:2 ~right_cap:[| 1; 2 |] in
+        Bipartite.add_edge noise ~left:0 ~right:1;
+        ignore (Bipartite.solve ~arena noise);
+        List.for_all
+          (fun algorithm ->
+            let o1 = Bipartite.solve ~arena ~algorithm b in
+            let o2 = Bipartite.solve ~arena ~algorithm b in
+            outcome_triple o1 = outcome_triple o2
+            && o1.Bipartite.matched
+               = (Bipartite.solve_legacy ~algorithm b).Bipartite.matched)
+          [
+            Bipartite.Dinic_flow;
+            Bipartite.Push_relabel_flow;
+            Bipartite.Hopcroft_karp_matching;
+          ]);
     Test.make ~name:"max flow is invariant under solver choice" ~count:100
       (make
          Gen.(
@@ -484,6 +634,14 @@ let suites =
         Alcotest.test_case "sampled upper-bounds exact" `Quick test_expander_sampled_upper_bounds_exact;
         Alcotest.test_case "rejects large instances" `Quick test_expander_rejects_large;
         Alcotest.test_case "Lemma 1: Hall iff expansion" `Quick test_hall_iff_expansion;
+      ] );
+    ( "graph.csr",
+      [
+        Alcotest.test_case "round-trip basics" `Quick test_csr_roundtrip_basic;
+        Alcotest.test_case "builder reuse" `Quick test_csr_builder_reuse;
+        Alcotest.test_case "arena reuse deterministic" `Quick test_arena_reuse_deterministic;
+        Alcotest.test_case "bipartite reset reuse" `Quick test_bipartite_reset_reuse;
+        Alcotest.test_case "network clear + arc_hint" `Quick test_network_clear_reuse;
       ] );
     ("graph.properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
   ]

@@ -320,12 +320,78 @@ let qcheck_cases =
         && Result.is_ok (Report.validate trace));
   ]
 
+let test_absorb () =
+  let a = Registry.create () and b = Registry.create () in
+  Registry.add (Registry.counter a "c") 3;
+  Registry.add (Registry.counter b "c") 4;
+  Registry.add (Registry.counter b "only_b") 9;
+  Registry.set (Registry.gauge a "g") 5;
+  Registry.set (Registry.gauge b "g") 2;
+  Registry.observe (Registry.histogram a "h") 10;
+  Registry.observe (Registry.histogram b "h") 100;
+  Registry.absorb ~into:a b;
+  checki "counters add" 7 (Registry.counter_value (Registry.counter a "c"));
+  checki "missing counters created" 9
+    (Registry.counter_value (Registry.counter a "only_b"));
+  checki "gauges keep the max" 5 (Registry.gauge_value (Registry.gauge a "g"));
+  checki "histograms merge count" 2 (Registry.hist_count (Registry.histogram a "h"));
+  checki "histograms merge sum" 110 (Registry.hist_sum (Registry.histogram a "h"));
+  (* the source registry is left untouched *)
+  checki "source counter intact" 4 (Registry.counter_value (Registry.counter b "c"))
+
+(* ------------------------------------------------------------------ *)
+(* Par (the parallel sweep runner's substrate)                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_par_map () =
+  let r = Vod_par.Par.map ~jobs:4 ~f:(fun i -> i * i) 17 in
+  checkb "results by index" true (r = Array.init 17 (fun i -> i * i));
+  checkb "empty" true (Vod_par.Par.map ~jobs:2 ~f:(fun i -> i) 0 = [||]);
+  (* job count never changes results *)
+  let f i = (i * 7919) mod 131 in
+  checkb "jobs-invariant" true
+    (Vod_par.Par.map ~jobs:1 ~f 50 = Vod_par.Par.map ~jobs:8 ~f 50);
+  checkb "backend named" true
+    (List.mem Vod_par.Par.backend [ "domains"; "sequential" ]);
+  checkb "default jobs positive" true (Vod_par.Par.default_jobs () >= 1)
+
+let test_par_map_failure () =
+  Alcotest.check_raises "first failure re-raised" (Failure "task 3") (fun () ->
+      ignore
+        (Vod_par.Par.map ~jobs:2
+           ~f:(fun i -> if i = 3 then failwith "task 3" else i)
+           8));
+  Alcotest.check_raises "negative n"
+    (Invalid_argument "Par.map: negative task count") (fun () ->
+      ignore (Vod_par.Par.map ~f:(fun i -> i) (-1)));
+  Alcotest.check_raises "bad jobs" (Invalid_argument "Par.map: jobs < 1") (fun () ->
+      ignore (Vod_par.Par.map ~jobs:0 ~f:(fun i -> i) 4))
+
+(* Registries merged after a parallel fan-out see every task exactly
+   once — the vodctl sweep pattern. *)
+let test_par_absorb_pattern () =
+  let regs =
+    Vod_par.Par.map ~jobs:3
+      ~f:(fun i ->
+        let reg = Registry.create () in
+        Registry.add (Registry.counter reg "work") i;
+        Registry.set (Registry.gauge reg "peak") i;
+        reg)
+      10
+  in
+  let merged = Registry.create () in
+  Array.iter (fun r -> Registry.absorb ~into:merged r) regs;
+  checki "counters sum over tasks" 45
+    (Registry.counter_value (Registry.counter merged "work"));
+  checki "gauge keeps fleet max" 9 (Registry.gauge_value (Registry.gauge merged "peak"))
+
 let suites =
   [
     ( "obs.registry",
       [
         Alcotest.test_case "counter and gauge" `Quick test_counter_basics;
         Alcotest.test_case "reset keeps handles" `Quick test_reset_keeps_handles;
+        Alcotest.test_case "absorb merges registries" `Quick test_absorb;
         Alcotest.test_case "bucket_of" `Quick test_bucket_of;
         Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
         Alcotest.test_case "hist percentile" `Quick test_hist_percentile;
@@ -345,6 +411,12 @@ let suites =
         Alcotest.test_case "validate rejects bad traces" `Quick
           test_validate_rejects_bad_traces;
         Alcotest.test_case "summarise phases" `Quick test_summarise_phases;
+      ] );
+    ( "obs.par",
+      [
+        Alcotest.test_case "map" `Quick test_par_map;
+        Alcotest.test_case "failure propagation" `Quick test_par_map_failure;
+        Alcotest.test_case "absorb after fan-out" `Quick test_par_absorb_pattern;
       ] );
     ("obs.properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
   ]

@@ -259,6 +259,25 @@ let test_vec_clear_reuse () =
   Vec.push v 9;
   checki "reusable" 9 (Vec.get v 0)
 
+let test_vec_ensure_capacity () =
+  let v = Vec.create () in
+  List.iter (Vec.push v) [ 1; 2; 3 ];
+  Vec.ensure_capacity v 1000 0;
+  checki "length unchanged" 3 (Vec.length v);
+  checki "contents kept" 2 (Vec.get v 1);
+  (* pushes up to the reserved capacity must not lose anything *)
+  for i = 3 to 999 do
+    Vec.push v i
+  done;
+  checki "grown" 1000 (Vec.length v);
+  checki "front survives" 1 (Vec.get v 0);
+  checki "tail correct" 999 (Vec.get v 999);
+  Vec.ensure_capacity v 10 0;
+  checki "shrink request is a no-op" 1000 (Vec.length v);
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Vec.ensure_capacity: negative capacity") (fun () ->
+      Vec.ensure_capacity v (-1) 0)
+
 let test_vec_bounds () =
   let v = Vec.create () in
   Vec.push v 1;
@@ -565,6 +584,7 @@ let suites =
         Alcotest.test_case "push/get" `Quick test_vec_push_get;
         Alcotest.test_case "pop lifo" `Quick test_vec_pop_lifo;
         Alcotest.test_case "clear and reuse" `Quick test_vec_clear_reuse;
+        Alcotest.test_case "ensure_capacity" `Quick test_vec_ensure_capacity;
         Alcotest.test_case "bounds checking" `Quick test_vec_bounds;
         Alcotest.test_case "conversions" `Quick test_vec_conversions;
       ] );
