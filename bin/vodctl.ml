@@ -6,6 +6,7 @@
      simulate  drive a workload through the round engine
      attack    drive an adversarial generator and report the outcome
      sweep     threshold sweep over the upload capacity u
+     chaos     run a fault-injection scenario with self-healing repair
      obs-report  validate and summarise a vod-obs JSONL trace          *)
 
 open Cmdliner
@@ -756,6 +757,121 @@ let check_cmd =
        $ repro_dir_arg $ replay_arg))
 
 (* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let run path rounds seed replications jobs out =
+    if replications < 1 then `Error (false, "need at least 1 replication")
+    else
+      match Vod.Fault.Scenario.load ~path with
+      | Error e -> `Error (false, e)
+      | Ok scenario -> (
+          let scenario =
+            match seed with
+            | Some seed -> { scenario with Vod.Fault.Scenario.seed }
+            | None -> scenario
+          in
+          let result =
+            if replications = 1 then
+              Result.map (fun o -> [ o ]) (Vod.Fault.Chaos.run ?rounds scenario)
+            else Vod.Fault.Chaos.run_many ?rounds ?jobs ~replications scenario
+          in
+          match result with
+          | Error e -> `Error (false, e)
+          | Ok outcomes ->
+              (* The JSONL stream (replications concatenated in order) is
+                 the machine-readable verdict: byte-identical for the
+                 same scenario/seed at any --jobs value. *)
+              let jsonl =
+                String.concat "" (List.map (fun o -> o.Vod.Fault.Chaos.jsonl) outcomes)
+              in
+              (match out with
+              | None -> print_string jsonl
+              | Some path ->
+                  Out_channel.with_open_text path (fun oc ->
+                      Out_channel.output_string oc jsonl);
+                  Printf.eprintf "chaos verdict stream written to %s\n" path);
+              List.iteri
+                (fun i o ->
+                  Printf.eprintf
+                    "rep %d (seed %d): %s; %d transfers (%d completed, %d aborted, %d \
+                     retries), %d replicas installed, %d unrepairable, time to full \
+                     replication %s, min online %d, unserved %d, faulted %d\n"
+                    i o.Vod.Fault.Chaos.seed
+                    (if Vod.Fault.Chaos.verdict_ok o then "RECOVERED" else "NOT RECOVERED")
+                    o.Vod.Fault.Chaos.stats.Vod.Fault.Mend.started
+                    o.Vod.Fault.Chaos.stats.Vod.Fault.Mend.completed
+                    o.Vod.Fault.Chaos.stats.Vod.Fault.Mend.aborted
+                    o.Vod.Fault.Chaos.stats.Vod.Fault.Mend.retries
+                    o.Vod.Fault.Chaos.stats.Vod.Fault.Mend.installed
+                    o.Vod.Fault.Chaos.unrepairable
+                    (match o.Vod.Fault.Chaos.time_to_full_replication with
+                    | -1 -> "never"
+                    | t -> Printf.sprintf "%d rounds" t)
+                    o.Vod.Fault.Chaos.min_online o.Vod.Fault.Chaos.total_unserved
+                    o.Vod.Fault.Chaos.total_faulted)
+                outcomes;
+              if List.for_all Vod.Fault.Chaos.verdict_ok outcomes then `Ok ()
+              else
+                `Error
+                  ( false,
+                    Printf.sprintf "%d of %d replications did not recover"
+                      (List.length
+                         (List.filter (fun o -> not (Vod.Fault.Chaos.verdict_ok o)) outcomes))
+                      (List.length outcomes) ))
+  in
+  let scenario_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO" ~doc:"Chaos scenario file (see examples/crash_rejoin.scn).")
+  in
+  let chaos_rounds_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rounds" ] ~docv:"R" ~doc:"Override the scenario's round count.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Override the scenario's seed.")
+  in
+  let replications_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "replications" ] ~docv:"N"
+          ~doc:"Independent replications (replication $(i,i) runs at seed + 1000*i).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"J"
+          ~doc:"Workers for parallel replications; the output is independent of $(docv).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the JSONL verdict stream to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a named chaos scenario: inject the scripted faults, let the \
+          bandwidth-aware repair controller self-heal, and emit a deterministic JSONL \
+          verdict stream (exit 0 iff every replication recovered).")
+    Term.(
+      ret
+        (const run $ scenario_arg $ chaos_rounds_arg $ chaos_seed_arg $ replications_arg
+       $ jobs_arg $ out_arg))
+
+(* ------------------------------------------------------------------ *)
 (* obs-report                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -869,6 +985,7 @@ let () =
             sweep_cmd;
             plan_cmd;
             check_cmd;
+            chaos_cmd;
             obs_report_cmd;
             proto_cmd;
           ]))

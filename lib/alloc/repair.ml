@@ -9,6 +9,8 @@ let alive_replicas alloc alive s =
     0
     (Allocation.boxes_of_stripe alloc s)
 
+(* Ascending stripe ids by construction — the pinned iteration order of
+   [repair] (see the .mli determinism contract). *)
 let under_replicated ~alloc ~alive ~target_k =
   let total = Catalog.total_stripes (Allocation.catalog alloc) in
   let acc = ref [] in
@@ -32,6 +34,13 @@ let repair g ~fleet ~alloc ~alive ~target_k =
     let total = Catalog.total_stripes (Allocation.catalog alloc) in
     let per_stripe = Array.init total (fun s -> Allocation.boxes_of_stripe alloc s) in
     let repaired = ref 0 and added = ref 0 and unrepairable = ref 0 in
+    (* Determinism contract: stripes are visited in ascending stripe-id
+       order and donors are drawn by one [Sample.shuffle] pass per
+       stripe over the candidate array built in ascending box-id order.
+       Every PRNG draw is therefore a pure function of (seed, alloc,
+       alive, target_k) — nothing depends on hash-table or OCaml-version
+       specifics, so a repair is bit-reproducible anywhere (pinned by
+       the repair.determinism regression test). *)
     List.iter
       (fun s ->
         let holders = per_stripe.(s) in

@@ -14,7 +14,8 @@ type report = {
 }
 
 val under_replicated : alloc:Allocation.t -> alive:bool array -> target_k:int -> int list
-(** Stripes with fewer than [target_k] replicas on alive boxes. *)
+(** Stripes with fewer than [target_k] replicas on alive boxes, in
+    ascending stripe-id order — the order {!repair} visits them in. *)
 
 val repair :
   Vod_util.Prng.t ->
@@ -28,4 +29,13 @@ val repair :
     from — a stripe with zero alive replicas is unrepairable and
     counted, not failed).  Dead boxes keep their (unreachable) replicas
     in the returned allocation; they become useful again if the box
-    returns.  [Error] only on inconsistent inputs. *)
+    returns.  [Error] only on inconsistent inputs.
+
+    {b Determinism contract:} stripes are repaired in ascending
+    stripe-id order, and the donor targets of each stripe are drawn by
+    exactly one shuffle of the ascending-box-id candidate array, so the
+    sequence of PRNG draws — and hence the returned allocation — is a
+    pure function of [(g, alloc, alive, target_k)].  Same seed, same
+    inputs: bit-identical repair, on any OCaml version.  This is what
+    lets the chaos oracle replay engine-driven repair against this
+    static function. *)

@@ -178,3 +178,70 @@ let scheduler_agreement ~params ~fleet ~alloc ?compensation ~rounds ~script () =
           failure_rounds = !failure_rounds;
           certified_failure_rounds = !certified;
         }
+
+(* ------------------------------------------------------------------ *)
+(* Chaos-mode repair differential                                      *)
+(* ------------------------------------------------------------------ *)
+
+type chaos_outcome = {
+  rounds_to_quiesce : int;
+  engine_installed : int;
+  oracle_added : int;
+  oracle_unrepairable : int;
+}
+
+let alive_count alloc alive s =
+  Array.fold_left
+    (fun acc b -> if alive.(b) then acc + 1 else acc)
+    0
+    (Vod_model.Allocation.boxes_of_stripe alloc s)
+
+let chaos_repair_agreement ~params ~fleet ~alloc ~crashed ~target_k ?config ?(seed = 42)
+    ?(max_rounds = 500) () =
+  let module Mend = Vod_fault.Mend in
+  let n = Array.length fleet in
+  let cfg = match config with Some c -> c | None -> Mend.config ~target_k () in
+  let engine = Engine.create ~params ~fleet ~alloc ~policy:Engine.Continue () in
+  List.iter (fun b -> Engine.set_online engine b false) crashed;
+  let alive = Array.init n (Engine.is_online engine) in
+  (* static oracle: the whole loss repaired at a stroke, for free *)
+  let* oracle_alloc, oracle_report =
+    Vod_alloc.Repair.repair (Vod_util.Prng.create ~seed ()) ~fleet ~alloc ~alive ~target_k
+  in
+  (* live system: the controller pays for every byte in the matching *)
+  let mend = Mend.create ~seed:(seed + 101) cfg in
+  let rounds = ref 0 in
+  while (not (Mend.quiesced mend engine)) && !rounds < max_rounds do
+    incr rounds;
+    Mend.tick mend engine;
+    ignore (Engine.step engine);
+    ignore (Mend.collect mend engine)
+  done;
+  if not (Mend.quiesced mend engine) then
+    Error (Printf.sprintf "controller failed to quiesce within %d rounds" max_rounds)
+  else begin
+    let final = Engine.alloc engine in
+    let total = Vod_model.Catalog.total_stripes (Vod_model.Allocation.catalog alloc) in
+    let stats = Mend.stats mend in
+    let rec check s =
+      if s >= total then
+        Ok
+          {
+            rounds_to_quiesce = !rounds;
+            engine_installed = stats.Mend.installed;
+            oracle_added = oracle_report.Vod_alloc.Repair.replicas_added;
+            oracle_unrepairable = oracle_report.Vod_alloc.Repair.unrepairable;
+          }
+      else
+        let live = min target_k (alive_count final alive s) in
+        let certified = min target_k (alive_count oracle_alloc alive s) in
+        if live <> certified then
+          Error
+            (Printf.sprintf
+               "stripe %d: engine-driven repair converged to %d alive replicas but the \
+                static oracle certifies %d"
+               s live certified)
+        else check (s + 1)
+    in
+    check 0
+  end

@@ -49,3 +49,32 @@ val scheduler_agreement :
 (** Drives the five engines (three schedulers + the two incremental
     variants) in lockstep over the [(time, box, video)] demand script
     (busy boxes skipped, as in {!Vod_sim.Engine.run}). *)
+
+type chaos_outcome = {
+  rounds_to_quiesce : int;
+  engine_installed : int;  (** Replicas installed by the live controller. *)
+  oracle_added : int;  (** Replicas the static oracle added at a stroke. *)
+  oracle_unrepairable : int;
+}
+
+val chaos_repair_agreement :
+  params:Vod_model.Params.t ->
+  fleet:Vod_model.Box.t array ->
+  alloc:Vod_model.Allocation.t ->
+  crashed:int list ->
+  target_k:int ->
+  ?config:Vod_fault.Mend.config ->
+  ?seed:int ->
+  ?max_rounds:int ->
+  unit ->
+  (chaos_outcome, string) result
+(** The chaos-mode repair differential: crash the given boxes, run the
+    engine with the bandwidth-aware controller ({!Vod_fault.Mend}) until
+    it quiesces (at most [max_rounds], default 500), and replay the same
+    loss through the static oracle {!Vod_alloc.Repair.repair} on the
+    original allocation.  The two must agree stripe by stripe on the
+    alive replica count clamped at [target_k] — engine-driven repair,
+    for all its budgets, retries and matching contention, must converge
+    to exactly the replication level the free-of-charge oracle
+    certifies.  [Error] names the first diverging stripe, a failure to
+    quiesce, or a controller/oracle accounting mismatch. *)

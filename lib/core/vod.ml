@@ -57,6 +57,12 @@ module Check = Vod_check
     ([Check.Certificate]), cross-solver and cross-scheduler oracles
     ([Check.Oracle]) and the seeded fuzz harness ([Check.Fuzz]). *)
 
+module Fault = Vod_fault
+(** The fault-injection and self-healing subsystem: declarative fault
+    plans ([Fault.Plan]), scenario files ([Fault.Scenario]), the
+    bandwidth-aware maintenance controller ([Fault.Mend]) and the
+    deterministic chaos runner ([Fault.Chaos]). *)
+
 module Obs = Vod_obs
 (** The observability subsystem: metrics registry ([Obs.Registry]),
     span tracing ([Obs.Span]), JSONL export ([Obs.Export]) and trace

@@ -1,0 +1,215 @@
+open Vod_util
+open Vod_model
+module Engine = Vod_sim.Engine
+module Registry = Vod_obs.Registry
+
+let obs_crashes = Registry.counter Registry.default "fault.crashes"
+let obs_rejoins = Registry.counter Registry.default "fault.rejoins"
+let obs_degradations = Registry.counter Registry.default "fault.degradations"
+let obs_flash_demands = Registry.counter Registry.default "fault.flash_demands"
+
+type outcome = {
+  scenario : Scenario.t;
+  seed : int;
+  reports : Engine.round_report list;
+  stats : Mend.stats;
+  recovered : bool;
+  unrepairable : int;
+  full_replication_round : int;
+  time_to_full_replication : int;
+  min_online : int;
+  total_unserved : int;
+  total_faulted : int;
+  jsonl : string;
+}
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Static validation shared by [run] and [run_many], so worker domains
+   never have to report errors. *)
+let validate (s : Scenario.t) =
+  let fleet = Box.Fleet.homogeneous ~n:s.n ~u:s.u ~d:s.d in
+  let m =
+    match s.m with Some m -> m | None -> Vod_alloc.Schemes.max_catalog ~fleet ~c:s.c ~k:s.k
+  in
+  let slots = Array.fold_left (fun acc b -> acc + Box.storage_slots ~c:s.c b) 0 fleet in
+  if s.k * m * s.c > slots then
+    Error
+      (Printf.sprintf "catalog does not fit: k*m*c = %d replicas > %d storage slots"
+         (s.k * m * s.c) slots)
+  else
+    let topology = Option.map (fun groups -> Topology.uniform_groups ~n:s.n ~groups) s.groups in
+    match Plan.compile ?topology ~seed:s.seed ~n:s.n s.events with
+    | Error _ as err -> err
+    | Ok _ ->
+        let bad_flash =
+          List.find_opt
+            (fun (_, ev) -> match ev with Plan.Flash_crowd (v, _) -> v >= m | _ -> false)
+            s.events
+        in
+        (match bad_flash with
+        | Some (round, Plan.Flash_crowd (v, _)) ->
+            Error (Printf.sprintf "round %d: flash-crowd video %d outside catalog [0, %d)" round v m)
+        | _ -> Ok (fleet, m, topology))
+
+let run ?rounds ?seed (s : Scenario.t) =
+  match validate s with
+  | Error _ as err -> err
+  | Ok (fleet, m, topology) ->
+      let rounds = Option.value rounds ~default:s.rounds in
+      let seed = Option.value seed ~default:s.seed in
+      let params = Params.make ~n:s.n ~c:s.c ~mu:s.mu ~duration:s.duration in
+      let catalog = Catalog.create ~m ~c:s.c in
+      let alloc_rng = Prng.create ~seed () in
+      let alloc = Vod_alloc.Schemes.random_permutation alloc_rng ~fleet ~catalog ~k:s.k in
+      (* the plan hashes its own seed; workload, controller and crowd
+         draws get independent streams derived from the run seed *)
+      let plan =
+        match Plan.compile ?topology ~seed ~n:s.n s.events with
+        | Ok p -> p
+        | Error msg -> invalid_arg msg (* unreachable: validated above *)
+      in
+      let engine =
+        Engine.create ~params ~fleet ~alloc ~policy:Engine.Continue ?topology ()
+      in
+      let mend = Mend.create ~seed:(seed + 101) (Mend.of_scenario s) in
+      let workload =
+        if s.rate > 0.0 then
+          Vod_workload.Generators.uniform_arrivals (Prng.create ~seed:(seed + 7) ()) ~rate:s.rate
+        else Vod_workload.Generators.nothing
+      in
+      let crowd_rng = Prng.create ~seed:(seed + 13) () in
+      let flaky = ref 0.0 in
+      Engine.set_link_faults engine
+        (Some (fun ~time ~owner ~server -> Plan.link_fault plan ~prob:!flaky ~time ~owner ~server));
+      let buf = Buffer.create (rounds * 96) in
+      let line fmt = Printf.ksprintf (fun str -> Buffer.add_string buf (str ^ "\n")) fmt in
+      line
+        {|{"type":"meta","version":"vod-chaos/1","scenario":"%s","seed":%d,"rounds":%d,"n":%d,"m":%d,"c":%d,"k":%d,"target_k":%d,"budget":%d,"transfer_rounds":%d}|}
+        (json_escape s.name) seed rounds s.n m s.c s.k s.target_k s.budget s.transfer_rounds;
+      let reports = ref [] in
+      let full_replication_round = ref (-1) in
+      let min_online = ref s.n in
+      let total_unserved = ref 0 and total_faulted = ref 0 in
+      let apply_event time = function
+        | Plan.Crash b ->
+            if Engine.is_online engine b then begin
+              Engine.set_online engine b false;
+              Registry.incr obs_crashes
+            end
+        | Plan.Rejoin b ->
+            if not (Engine.is_online engine b) then begin
+              Engine.set_online engine b true;
+              Registry.incr obs_rejoins
+            end
+        | Plan.Degrade (b, f) ->
+            Engine.set_upload_factor engine ~box:b ~factor:f;
+            Registry.incr obs_degradations
+        | Plan.Restore b -> Engine.set_upload_factor engine ~box:b ~factor:1.0
+        | Plan.Flaky p -> flaky := p
+        | Plan.Flash_crowd (video, viewers) ->
+            let idle = Array.of_list (Engine.idle_boxes engine) in
+            Sample.shuffle crowd_rng idle;
+            let take = min viewers (Array.length idle) in
+            for i = 0 to take - 1 do
+              Engine.demand engine ~box:idle.(i) ~video;
+              Registry.incr obs_flash_demands
+            done;
+            ignore time
+        | Plan.Group_crash _ | Plan.Group_rejoin _ ->
+            (* Plan.compile expanded these *)
+            assert false
+      in
+      for _ = 1 to rounds do
+        let time = Engine.now engine + 1 in
+        List.iter (apply_event time) (Plan.events_at plan time);
+        List.iter
+          (fun (box, video) ->
+            if Engine.is_online engine box && Engine.is_idle engine box then
+              Engine.demand engine ~box ~video)
+          (workload engine time);
+        Mend.tick mend engine;
+        let report = Engine.step engine in
+        let installs = Mend.collect mend engine in
+        let repairable, unrepairable = Mend.pending mend engine in
+        reports := report :: !reports;
+        let online = s.n - report.Engine.offline_boxes in
+        if online < !min_online then min_online := online;
+        total_unserved := !total_unserved + report.Engine.unserved;
+        total_faulted := !total_faulted + report.Engine.faulted;
+        if
+          !full_replication_round < 0
+          && time >= Plan.last_disruption plan
+          && repairable = [] && unrepairable = []
+        then full_replication_round := time;
+        line
+          {|{"type":"round","t":%d,"demands":%d,"active":%d,"served":%d,"unserved":%d,"faulted":%d,"offline":%d,"repair_active":%d,"repair_served":%d,"under":%d,"unrepairable":%d,"in_flight":%d,"installs":%d}|}
+          report.Engine.time report.Engine.new_demands report.Engine.active_requests
+          report.Engine.served report.Engine.unserved report.Engine.faulted
+          report.Engine.offline_boxes report.Engine.repair_active report.Engine.repair_served
+          (List.length repairable + List.length unrepairable)
+          (List.length unrepairable)
+          (Engine.repair_in_flight engine)
+          installs
+      done;
+      let stats = Mend.stats mend in
+      let _, unrepairable_left = Mend.pending mend engine in
+      let unrepairable = List.length unrepairable_left in
+      (* Quiescing is not enough: the controller also quiesces when a
+         stripe is permanently lost (no alive donor).  Recovery means
+         full target replication was actually restored. *)
+      let recovered = Mend.quiesced mend engine && unrepairable = 0 in
+      let ttf =
+        if !full_replication_round < 0 then -1
+        else !full_replication_round - Plan.last_disruption plan
+      in
+      line
+        {|{"type":"verdict","recovered":%b,"full_replication_round":%d,"time_to_full_replication":%d,"transfers_started":%d,"transfers_completed":%d,"transfers_aborted":%d,"retries":%d,"replicas_installed":%d,"unrepairable":%d,"total_unserved":%d,"total_faulted":%d,"min_online":%d,"rounds":%d}|}
+        recovered !full_replication_round ttf stats.Mend.started stats.Mend.completed
+        stats.Mend.aborted stats.Mend.retries stats.Mend.installed unrepairable !total_unserved
+        !total_faulted !min_online rounds;
+      Ok
+        {
+          scenario = s;
+          seed;
+          reports = List.rev !reports;
+          stats;
+          recovered;
+          unrepairable;
+          full_replication_round = !full_replication_round;
+          time_to_full_replication = ttf;
+          min_online = !min_online;
+          total_unserved = !total_unserved;
+          total_faulted = !total_faulted;
+          jsonl = Buffer.contents buf;
+        }
+
+let run_many ?rounds ?jobs ~replications (s : Scenario.t) =
+  if replications < 1 then Error "replications must be >= 1"
+  else
+    match validate s with
+    | Error _ as err -> err
+    | Ok _ ->
+        let outcomes =
+          Vod_par.Par.map ?jobs
+            ~f:(fun rep ->
+              match run ?rounds ~seed:(s.seed + (1000 * rep)) s with
+              | Ok o -> o
+              | Error msg -> failwith msg (* unreachable: validated above *))
+            replications
+        in
+        Ok (Array.to_list outcomes)
+
+let verdict_ok o = o.recovered

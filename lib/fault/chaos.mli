@@ -1,0 +1,51 @@
+(** Chaos runs: execute a {!Scenario} — build the system, compile its
+    fault {!Plan}, drive the engine round by round applying events and
+    background load while {!Mend} self-heals — and emit a deterministic
+    JSONL verdict stream.
+
+    {b Determinism contract:} the JSONL output is a pure function of
+    [(scenario, rounds, seed)].  It is assembled only from engine
+    reports and controller state (never from the shared metrics
+    registry), every number is an integer or a verbatim scenario field,
+    and replications get independent seeded streams combined in
+    replication order — so two runs of the same scenario, at any
+    [--jobs] value, are byte-identical. *)
+
+type outcome = {
+  scenario : Scenario.t;
+  seed : int;  (** The seed this replication actually ran with. *)
+  reports : Vod_sim.Engine.round_report list;
+  stats : Mend.stats;
+  recovered : bool;
+      (** The controller quiesced with nothing left to repair {e and} no
+          stripe was permanently lost: full target replication holds. *)
+  unrepairable : int;  (** Stripes beyond repair at the end. *)
+  full_replication_round : int;
+      (** First round at/after the last disruptive event with every
+          stripe back at [target_k] alive replicas; -1 if never. *)
+  time_to_full_replication : int;
+      (** Rounds from the last disruptive event to full replication;
+          -1 if never reached. *)
+  min_online : int;  (** Fewest online boxes over the run. *)
+  total_unserved : int;
+  total_faulted : int;
+  jsonl : string;  (** One meta line, one line per round, one verdict. *)
+}
+
+val run : ?rounds:int -> ?seed:int -> Scenario.t -> (outcome, string) result
+(** Run one replication ([rounds]/[seed] override the scenario's).
+    [Error] on an invalid scenario: plan compilation failure,
+    flash-crowd video outside the catalog, or replicas that do not fit
+    the fleet's storage. *)
+
+val run_many :
+  ?rounds:int -> ?jobs:int -> replications:int -> Scenario.t -> (outcome list, string) result
+(** [replications] independent runs (replication [i] uses seed
+    [scenario.seed + 1000 * i]) fanned out over [jobs] workers with
+    {!Vod_par.Par.map}; outcomes are in replication order regardless of
+    scheduling.  Validates once up front so [Error] is returned, not
+    raised, from workers. *)
+
+val verdict_ok : outcome -> bool
+(** The run's pass criterion: full target replication was restored
+    ([recovered]). *)

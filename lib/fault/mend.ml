@@ -1,0 +1,263 @@
+open Vod_util
+open Vod_model
+module Engine = Vod_sim.Engine
+module Registry = Vod_obs.Registry
+
+let obs_started = Registry.counter Registry.default "repair.transfers_started"
+let obs_completed = Registry.counter Registry.default "repair.transfers_completed"
+let obs_aborted = Registry.counter Registry.default "repair.transfers_aborted"
+let obs_retries = Registry.counter Registry.default "repair.retries"
+let obs_installed = Registry.counter Registry.default "repair.replicas_installed"
+let obs_time_to_repair = Registry.histogram Registry.default "repair.time_to_repair"
+
+type config = {
+  target_k : int;
+  budget : int;
+  transfer_rounds : int;
+  backoff_base : int;
+  backoff_cap : int;
+  grace : int;
+}
+
+let config ?(budget = 4) ?(transfer_rounds = 5) ?(backoff_base = 2) ?(backoff_cap = 32)
+    ?grace ~target_k () =
+  let grace = match grace with Some g -> g | None -> 2 * transfer_rounds in
+  if target_k < 1 then invalid_arg "Mend.config: target_k must be >= 1";
+  if budget < 1 then invalid_arg "Mend.config: budget must be >= 1";
+  if transfer_rounds < 1 then invalid_arg "Mend.config: transfer_rounds must be >= 1";
+  if backoff_base < 1 then invalid_arg "Mend.config: backoff base must be >= 1";
+  if backoff_cap < backoff_base then invalid_arg "Mend.config: backoff cap must be >= base";
+  if grace < 0 then invalid_arg "Mend.config: grace must be >= 0";
+  { target_k; budget; transfer_rounds; backoff_base; backoff_cap; grace }
+
+let of_scenario (s : Scenario.t) =
+  config ~budget:s.Scenario.budget ~transfer_rounds:s.Scenario.transfer_rounds
+    ~backoff_base:s.Scenario.backoff_base ~backoff_cap:s.Scenario.backoff_cap
+    ~target_k:s.Scenario.target_k ()
+
+type transfer = { stripe : int; dest : int; started : int; detected : int }
+
+type t = {
+  cfg : config;
+  rng : Prng.t;
+  mutable in_flight : transfer list;
+  attempts : (int, int) Hashtbl.t;  (* stripe -> failed attempts *)
+  next_try : (int, int) Hashtbl.t;  (* stripe -> earliest retry round *)
+  detected_at : (int, int) Hashtbl.t;  (* stripe -> round first seen under *)
+  mutable started : int;
+  mutable completed : int;
+  mutable aborted : int;
+  mutable retries : int;
+  mutable installed : int;
+}
+
+let create ?(seed = 42) cfg =
+  {
+    cfg;
+    rng = Prng.create ~seed ();
+    in_flight = [];
+    attempts = Hashtbl.create 16;
+    next_try = Hashtbl.create 16;
+    detected_at = Hashtbl.create 16;
+    started = 0;
+    completed = 0;
+    aborted = 0;
+    retries = 0;
+    installed = 0;
+  }
+
+type stats = {
+  started : int;
+  completed : int;
+  aborted : int;
+  retries : int;
+  installed : int;
+  in_flight : int;
+}
+
+let stats (t : t) : stats =
+  {
+    started = t.started;
+    completed = t.completed;
+    aborted = t.aborted;
+    retries = t.retries;
+    installed = t.installed;
+    in_flight = List.length t.in_flight;
+  }
+
+let attempts_of (t : t) s = try Hashtbl.find t.attempts s with Not_found -> 0
+
+let backoff_delay (t : t) s =
+  let a = attempts_of t s in
+  (* base * 2^(a-1), capped; a >= 1 when consulted *)
+  let d = ref t.cfg.backoff_base in
+  for _ = 2 to a do
+    if !d < t.cfg.backoff_cap then d := !d * 2
+  done;
+  min !d t.cfg.backoff_cap
+
+let record_failure (t : t) ~stripe ~time =
+  Hashtbl.replace t.attempts stripe (attempts_of t stripe + 1);
+  Hashtbl.replace t.next_try stripe (time + backoff_delay t stripe)
+
+let tick (t : t) e =
+  let time = Engine.now e + 1 in
+  let params = Engine.params e in
+  let n = params.Params.n and c = params.Params.c in
+  let fleet = Engine.fleet e in
+  (* 1. reap transfers lost to destination crashes (the engine already
+     dropped the request with the box) or overrunning their deadline
+     (donors saturated for too long: give the slot back and retry
+     elsewhere after backoff). *)
+  let keep, lost =
+    List.partition
+      (fun tr ->
+        Engine.is_online e tr.dest && time <= tr.started + t.cfg.transfer_rounds + t.cfg.grace)
+      t.in_flight
+  in
+  t.in_flight <- keep;
+  List.iter
+    (fun tr ->
+      if Engine.is_online e tr.dest then
+        ignore (Engine.abort_repair e ~stripe:tr.stripe ~dest:tr.dest);
+      t.aborted <- t.aborted + 1;
+      Registry.incr obs_aborted;
+      record_failure t ~stripe:tr.stripe ~time)
+    lost;
+  (* 2. detect under-replicated stripes against the current allocation *)
+  let alloc = Engine.alloc e in
+  let alive = Array.init n (Engine.is_online e) in
+  let under = Vod_alloc.Repair.under_replicated ~alloc ~alive ~target_k:t.cfg.target_k in
+  let under_set = Hashtbl.create (List.length under) in
+  List.iter
+    (fun s ->
+      Hashtbl.replace under_set s ();
+      if not (Hashtbl.mem t.detected_at s) then Hashtbl.replace t.detected_at s time)
+    under;
+  (* healed without us (e.g. a holder rejoined): forget the detection *)
+  let healed =
+    Hashtbl.fold
+      (fun s _ acc ->
+        if Hashtbl.mem under_set s || List.exists (fun tr -> tr.stripe = s) t.in_flight then
+          acc
+        else s :: acc)
+      t.detected_at []
+  in
+  List.iter
+    (fun s ->
+      Hashtbl.remove t.detected_at s;
+      Hashtbl.remove t.attempts s;
+      Hashtbl.remove t.next_try s)
+    healed;
+  (* 3. schedule new transfers under the bandwidth budget.  Free storage
+     accounts for slots already promised to in-flight destinations. *)
+  let free =
+    Array.init n (fun b ->
+        if alive.(b) then Box.storage_slots ~c fleet.(b) - Allocation.box_load alloc b
+        else 0)
+  in
+  List.iter (fun tr -> free.(tr.dest) <- free.(tr.dest) - 1) t.in_flight;
+  let slots = ref (t.cfg.budget - List.length t.in_flight) in
+  (* Determinism contract (mirrors Vod_alloc.Repair.repair): stripes in
+     ascending id order, destination drawn by one shuffle per stripe
+     over the ascending-box-id candidate array. *)
+  List.iter
+    (fun s ->
+      if
+        !slots > 0
+        && (not (List.exists (fun tr -> tr.stripe = s) t.in_flight))
+        && (try Hashtbl.find t.next_try s with Not_found -> 0) <= time
+      then begin
+        let holders = Allocation.boxes_of_stripe alloc s in
+        let has_donor = Array.exists (fun b -> alive.(b)) holders in
+        let candidates = ref [] in
+        for b = n - 1 downto 0 do
+          if alive.(b) && free.(b) > 0 && not (Array.mem b holders) then
+            candidates := b :: !candidates
+        done;
+        let candidates = Array.of_list !candidates in
+        if (not has_donor) || Array.length candidates = 0 then
+          (* dead stripe or no storage anywhere: back off and re-examine
+             later (a rejoin may make it repairable) *)
+          record_failure t ~stripe:s ~time
+        else begin
+          Sample.shuffle t.rng candidates;
+          let dest = candidates.(0) in
+          Engine.inject_repair e ~stripe:s ~dest ~rounds:t.cfg.transfer_rounds;
+          let detected = try Hashtbl.find t.detected_at s with Not_found -> time in
+          t.in_flight <- { stripe = s; dest; started = time; detected } :: t.in_flight;
+          t.started <- t.started + 1;
+          Registry.incr obs_started;
+          if attempts_of t s > 0 then begin
+            t.retries <- t.retries + 1;
+            Registry.incr obs_retries
+          end;
+          free.(dest) <- free.(dest) - 1;
+          decr slots
+        end
+      end)
+    under
+
+let collect (t : t) e =
+  let now = Engine.now e in
+  let completed = Engine.drain_completed_repairs e in
+  match completed with
+  | [] -> 0
+  | _ ->
+      let alloc = Engine.alloc e in
+      let n = Allocation.n_boxes alloc in
+      let catalog = Allocation.catalog alloc in
+      let total = Catalog.total_stripes catalog in
+      let per_stripe = Array.init total (Allocation.boxes_of_stripe alloc) in
+      let installed = ref 0 in
+      List.iter
+        (fun (stripe, dest) ->
+          t.completed <- t.completed + 1;
+          Registry.incr obs_completed;
+          t.in_flight <-
+            List.filter (fun tr -> not (tr.stripe = stripe && tr.dest = dest)) t.in_flight;
+          (match Hashtbl.find_opt t.detected_at stripe with
+          | Some d -> Registry.observe obs_time_to_repair (max 0 (now - d))
+          | None -> ());
+          Hashtbl.remove t.attempts stripe;
+          Hashtbl.remove t.next_try stripe;
+          if not (Array.mem dest per_stripe.(stripe)) then begin
+            per_stripe.(stripe) <- Array.append per_stripe.(stripe) [| dest |];
+            incr installed;
+            t.installed <- t.installed + 1;
+            Registry.incr obs_installed
+          end)
+        completed;
+      if !installed > 0 then
+        Engine.set_alloc e (Allocation.of_replica_lists ~catalog ~n_boxes:n per_stripe);
+      !installed
+
+let pending (t : t) e =
+  let params = Engine.params e in
+  let n = params.Params.n and c = params.Params.c in
+  let fleet = Engine.fleet e in
+  let alloc = Engine.alloc e in
+  let alive = Array.init n (Engine.is_online e) in
+  let free_somewhere holders =
+    let rec go b =
+      b < n
+      && ((alive.(b)
+           && Box.storage_slots ~c fleet.(b) - Allocation.box_load alloc b > 0
+           && not (Array.mem b holders))
+         || go (b + 1))
+    in
+    go 0
+  in
+  let under = Vod_alloc.Repair.under_replicated ~alloc ~alive ~target_k:t.cfg.target_k in
+  List.partition
+    (fun s ->
+      let holders = Allocation.boxes_of_stripe alloc s in
+      Array.exists (fun b -> alive.(b)) holders && free_somewhere holders)
+    under
+
+let quiesced (t : t) e =
+  match t.in_flight with
+  | _ :: _ -> false
+  | [] ->
+      let repairable, _ = pending t e in
+      repairable = []

@@ -1,0 +1,118 @@
+open Vod_model
+
+type event =
+  | Crash of int
+  | Rejoin of int
+  | Group_crash of int
+  | Group_rejoin of int
+  | Degrade of int * float
+  | Restore of int
+  | Flaky of float
+  | Flash_crowd of int * int
+
+type spec = (int * event) list
+
+type t = {
+  seed : int;
+  n : int;
+  by_round : (int, event list) Hashtbl.t;  (* events in spec order *)
+  horizon : int;
+  last_disruption : int;
+}
+
+let validate ~topology ~n (round, ev) =
+  let box_ok b = b >= 0 && b < n in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if round < 1 then err "round %d: events start at round 1" round
+  else
+    match ev with
+    | Crash b | Rejoin b | Restore b ->
+        if box_ok b then Ok () else err "round %d: box %d out of range [0, %d)" round b n
+    | Degrade (b, f) ->
+        if not (box_ok b) then err "round %d: box %d out of range [0, %d)" round b n
+        else if not (f >= 0.0 && f <= 1.0) then
+          err "round %d: degrade factor %g outside [0, 1]" round f
+        else Ok ()
+    | Group_crash g | Group_rejoin g -> (
+        match topology with
+        | None -> err "round %d: group event without a topology" round
+        | Some topo ->
+            if g >= 0 && g < Topology.groups topo then Ok ()
+            else err "round %d: group %d out of range [0, %d)" round g (Topology.groups topo))
+    | Flaky p ->
+        if p >= 0.0 && p <= 1.0 then Ok ()
+        else err "round %d: fault probability %g outside [0, 1]" round p
+    | Flash_crowd (video, viewers) ->
+        if video < 0 then err "round %d: flash-crowd video %d negative" round video
+        else if viewers < 1 then err "round %d: flash-crowd needs >= 1 viewer, got %d" round viewers
+        else Ok ()
+
+(* Group events expand to per-box events in ascending box order
+   ([Topology.group_members] is ascending by construction), keeping the
+   compiled stream independent of hash-table iteration. *)
+let expand ~topology ev =
+  match ev with
+  | Group_crash g ->
+      let topo = Option.get topology in
+      List.map (fun b -> Crash b) (Topology.group_members topo g)
+  | Group_rejoin g ->
+      let topo = Option.get topology in
+      List.map (fun b -> Rejoin b) (Topology.group_members topo g)
+  | _ -> [ ev ]
+
+let disruptive = function
+  | Crash _ | Group_crash _ | Degrade _ -> true
+  | Flaky p -> p > 0.0
+  | Rejoin _ | Group_rejoin _ | Restore _ | Flash_crowd _ -> false
+
+let compile ?topology ~seed ~n spec =
+  if n < 1 then Error "n must be >= 1"
+  else
+    let rec check = function
+      | [] -> Ok ()
+      | e :: rest -> (
+          match validate ~topology ~n e with Ok () -> check rest | Error _ as err -> err)
+    in
+    match check spec with
+    | Error _ as err -> err
+    | Ok () ->
+        let by_round = Hashtbl.create 16 in
+        let horizon = ref 0 and last_disruption = ref 0 in
+        List.iter
+          (fun (round, ev) ->
+            if round > !horizon then horizon := round;
+            if disruptive ev && round > !last_disruption then last_disruption := round;
+            let existing = try Hashtbl.find by_round round with Not_found -> [] in
+            Hashtbl.replace by_round round (existing @ expand ~topology ev))
+          spec;
+        Ok { seed; n; by_round; horizon = !horizon; last_disruption = !last_disruption }
+
+let events_at t round = try Hashtbl.find t.by_round round with Not_found -> []
+let horizon t = t.horizon
+let last_disruption t = t.last_disruption
+let seed t = t.seed
+let n t = t.n
+
+(* SplitMix64 finaliser — the same avalanche mix [Prng] seeds through.
+   Mixing the four inputs through it gives a uniform 64-bit value that
+   depends on every bit of (seed, time, owner, server), so the fault
+   decision for each connection is an independent fair coin. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let link_fault t ~prob ~time ~owner ~server =
+  prob > 0.0
+  && (prob >= 1.0
+     ||
+     let h =
+       List.fold_left
+         (fun acc v -> mix64 (Int64.add (Int64.mul acc 0x100000001b3L) (Int64.of_int v)))
+         (mix64 (Int64.of_int t.seed))
+         [ time; owner; server ]
+     in
+     (* top 53 bits -> uniform float in [0, 1) *)
+     let u = Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53 in
+     u < prob)

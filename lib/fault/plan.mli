@@ -1,0 +1,65 @@
+(** Declarative fault plans: a seedable schedule of disruptive events
+    compiled into a per-round event stream.
+
+    A plan is the {e only} source of non-determinism in a chaos run
+    beyond the workload seed: the same [(seed, spec)] pair always
+    compiles to the same event stream, and the transient link-fault
+    predicate derived from the plan is a pure hash of
+    [(seed, time, owner, server)] — so replaying a scenario is
+    bit-identical regardless of evaluation order, OCaml version or
+    [--jobs] count. *)
+
+open Vod_model
+
+type event =
+  | Crash of int  (** Box goes offline (fail-stop). *)
+  | Rejoin of int  (** Box comes back with its static replicas intact. *)
+  | Group_crash of int
+      (** Correlated outage: every box of the topology group crashes
+          (a rack or ISP region failing as one). *)
+  | Group_rejoin of int  (** The whole group comes back. *)
+  | Degrade of int * float
+      (** [Degrade (b, f)]: box [b]'s upload is multiplied by
+          [f] in [0, 1] (congestion, throttling). *)
+  | Restore of int  (** Upload back to nominal ([factor = 1]). *)
+  | Flaky of float
+      (** Set the transient per-connection failure probability (0
+          disables link faults). *)
+  | Flash_crowd of int * int
+      (** [Flash_crowd (video, viewers)]: that many extra idle boxes
+          demand [video] at once. *)
+
+type spec = (int * event) list
+(** [(round, event)] pairs; rounds need not be sorted or distinct. *)
+
+type t
+
+val compile : ?topology:Topology.t -> seed:int -> n:int -> spec -> (t, string) result
+(** Validate a spec against a fleet of [n] boxes and expand it into a
+    per-round stream.  [Group_crash]/[Group_rejoin] require a
+    [topology] and are expanded into per-box [Crash]/[Rejoin] events in
+    ascending box order.  [Error] names the first offending event:
+    out-of-range box, group or video id, factor or probability outside
+    [0, 1], non-positive viewer count, or round < 1. *)
+
+val events_at : t -> int -> event list
+(** The events scheduled for the round, in spec order (group events
+    expanded in place).  Never contains [Group_crash]/[Group_rejoin]. *)
+
+val horizon : t -> int
+(** The last round with a scheduled event (0 for an empty plan). *)
+
+val last_disruption : t -> int
+(** The last round scheduling a {e disruptive} event — a crash,
+    degradation or positive [Flaky] — after which recovery time is
+    measured (0 when the plan never disrupts). *)
+
+val seed : t -> int
+val n : t -> int
+
+val link_fault : t -> prob:float -> time:int -> owner:int -> server:int -> bool
+(** Pure hash-based fault predicate for {!Vod_sim.Engine.set_link_faults}:
+    drops a matched connection with probability [prob], deterministically
+    in [(seed, time, owner, server)].  Evaluation order is irrelevant, so
+    the matching may consult it in any order without hurting
+    reproducibility. *)

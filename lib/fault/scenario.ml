@@ -1,0 +1,199 @@
+type t = {
+  name : string;
+  n : int;
+  u : float;
+  d : float;
+  c : int;
+  k : int;
+  m : int option;
+  mu : float;
+  duration : int;
+  rounds : int;
+  seed : int;
+  rate : float;
+  groups : int option;
+  target_k : int;
+  budget : int;
+  transfer_rounds : int;
+  backoff_base : int;
+  backoff_cap : int;
+  events : Plan.spec;
+}
+
+let default =
+  {
+    name = "default";
+    n = 64;
+    u = 2.0;
+    d = 4.0;
+    c = 4;
+    k = 4;
+    m = None;
+    mu = 1.2;
+    duration = 30;
+    rounds = 100;
+    seed = 42;
+    rate = 2.0;
+    groups = None;
+    target_k = 3;
+    budget = 4;
+    transfer_rounds = 5;
+    backoff_base = 2;
+    backoff_cap = 32;
+    events = [];
+  }
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line =
+  strip_comment line |> String.split_on_char ' '
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let int_of tok = int_of_string_opt tok
+let float_of tok = float_of_string_opt tok
+
+(* [at <round> <event> <args...>] — box-list events accept several ids. *)
+let parse_event ~round ~verb ~args =
+  let boxes mk =
+    match List.map int_of args with
+    | [] -> Error (Printf.sprintf "'%s' needs at least one box id" verb)
+    | ids when List.for_all Option.is_some ids ->
+        Ok (List.map (fun id -> (round, mk (Option.get id))) ids)
+    | _ -> Error (Printf.sprintf "'%s' takes integer box ids" verb)
+  in
+  match (verb, args) with
+  | "crash", _ -> boxes (fun b -> Plan.Crash b)
+  | "rejoin", _ -> boxes (fun b -> Plan.Rejoin b)
+  | "restore", _ -> boxes (fun b -> Plan.Restore b)
+  | ("group-crash" | "group_crash"), _ -> boxes (fun g -> Plan.Group_crash g)
+  | ("group-rejoin" | "group_rejoin"), _ -> boxes (fun g -> Plan.Group_rejoin g)
+  | "degrade", [ b; f ] -> (
+      match (int_of b, float_of f) with
+      | Some b, Some f -> Ok [ (round, Plan.Degrade (b, f)) ]
+      | _ -> Error "'degrade' takes <box> <factor>")
+  | "degrade", _ -> Error "'degrade' takes <box> <factor>"
+  | "flaky", [ p ] -> (
+      match float_of p with
+      | Some p -> Ok [ (round, Plan.Flaky p) ]
+      | None -> Error "'flaky' takes <probability>")
+  | "flaky", _ -> Error "'flaky' takes <probability>"
+  | "flash", [ v; w ] -> (
+      match (int_of v, int_of w) with
+      | Some v, Some w -> Ok [ (round, Plan.Flash_crowd (v, w)) ]
+      | _ -> Error "'flash' takes <video> <viewers>")
+  | "flash", _ -> Error "'flash' takes <video> <viewers>"
+  | _ -> Error (Printf.sprintf "unknown event '%s'" verb)
+
+let parse_line t line =
+  match tokens line with
+  | [] -> Ok t
+  | "at" :: round :: verb :: args -> (
+      match int_of round with
+      | None -> Error "'at' takes an integer round"
+      | Some round -> (
+          match parse_event ~round ~verb ~args with
+          | Ok evs -> Ok { t with events = t.events @ evs }
+          | Error _ as err -> err))
+  | [ key; v ] -> (
+      let int_field set = match int_of v with Some x -> Ok (set x) | None -> Error ("'" ^ key ^ "' takes an integer") in
+      let float_field set =
+        match float_of v with Some x -> Ok (set x) | None -> Error ("'" ^ key ^ "' takes a number")
+      in
+      match key with
+      | "n" -> int_field (fun n -> { t with n })
+      | "c" -> int_field (fun c -> { t with c })
+      | "k" -> int_field (fun k -> { t with k })
+      | "m" -> int_field (fun m -> { t with m = Some m })
+      | "duration" -> int_field (fun duration -> { t with duration })
+      | "rounds" -> int_field (fun rounds -> { t with rounds })
+      | "seed" -> int_field (fun seed -> { t with seed })
+      | "groups" -> int_field (fun g -> { t with groups = Some g })
+      | "target_k" -> int_field (fun target_k -> { t with target_k })
+      | "budget" -> int_field (fun budget -> { t with budget })
+      | "transfer_rounds" -> int_field (fun transfer_rounds -> { t with transfer_rounds })
+      | "u" -> float_field (fun u -> { t with u })
+      | "d" -> float_field (fun d -> { t with d })
+      | "mu" -> float_field (fun mu -> { t with mu })
+      | "rate" -> float_field (fun rate -> { t with rate })
+      | _ -> Error (Printf.sprintf "unknown directive '%s'" key))
+  | [ "backoff"; base; cap ] -> (
+      match (int_of base, int_of cap) with
+      | Some backoff_base, Some backoff_cap -> Ok { t with backoff_base; backoff_cap }
+      | _ -> Error "'backoff' takes <base> <cap>")
+  | key :: _ -> Error (Printf.sprintf "malformed directive '%s'" key)
+
+let check t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.n < 1 then err "n must be >= 1"
+  else if t.c < 1 then err "c must be >= 1"
+  else if t.k < 1 then err "k must be >= 1"
+  else if (match t.m with Some m -> m < 0 | None -> false) then err "m must be >= 0"
+  else if t.u < 0.0 then err "u must be >= 0"
+  else if t.d < 0.0 then err "d must be >= 0"
+  else if t.mu < 1.0 then err "mu must be >= 1"
+  else if t.duration < 1 then err "duration must be >= 1"
+  else if t.rounds < 1 then err "rounds must be >= 1"
+  else if t.rate < 0.0 then err "rate must be >= 0"
+  else if (match t.groups with Some g -> g < 1 || g > t.n | None -> false) then
+    err "groups must be in [1, n]"
+  else if t.target_k < 1 then err "target_k must be >= 1"
+  else if t.budget < 1 then err "budget must be >= 1"
+  else if t.transfer_rounds < 1 then err "transfer_rounds must be >= 1"
+  else if t.backoff_base < 1 then err "backoff base must be >= 1"
+  else if t.backoff_cap < t.backoff_base then err "backoff cap must be >= base"
+  else Ok t
+
+let parse ~name text =
+  let lines = String.split_on_char '\n' text in
+  let rec go t lineno = function
+    | [] -> check t
+    | line :: rest -> (
+        match parse_line t line with
+        | Ok t -> go t (lineno + 1) rest
+        | Error msg -> Error (Printf.sprintf "%s:%d: %s" name lineno msg))
+  in
+  go { default with name } 1 lines
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse ~name:(Filename.basename path) text
+  | exception Sys_error msg -> Error msg
+
+let event_line (round, ev) =
+  let p = Printf.sprintf in
+  match ev with
+  | Plan.Crash b -> p "at %d crash %d" round b
+  | Plan.Rejoin b -> p "at %d rejoin %d" round b
+  | Plan.Group_crash g -> p "at %d group-crash %d" round g
+  | Plan.Group_rejoin g -> p "at %d group-rejoin %d" round g
+  | Plan.Degrade (b, f) -> p "at %d degrade %d %g" round b f
+  | Plan.Restore b -> p "at %d restore %d" round b
+  | Plan.Flaky prob -> p "at %d flaky %g" round prob
+  | Plan.Flash_crowd (v, w) -> p "at %d flash %d %d" round v w
+
+let to_text t =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "# scenario %s" t.name;
+  line "n %d" t.n;
+  line "u %g" t.u;
+  line "d %g" t.d;
+  line "c %d" t.c;
+  line "k %d" t.k;
+  (match t.m with Some m -> line "m %d" m | None -> ());
+  line "mu %g" t.mu;
+  line "duration %d" t.duration;
+  line "rounds %d" t.rounds;
+  line "seed %d" t.seed;
+  line "rate %g" t.rate;
+  (match t.groups with Some g -> line "groups %d" g | None -> ());
+  line "target_k %d" t.target_k;
+  line "budget %d" t.budget;
+  line "transfer_rounds %d" t.transfer_rounds;
+  line "backoff %d %d" t.backoff_base t.backoff_cap;
+  List.iter (fun ev -> line "%s" (event_line ev)) t.events;
+  Buffer.contents b

@@ -1,0 +1,64 @@
+(** Chaos scenario files: a small line-oriented text format binding a
+    system (fleet, catalog, workload), a repair configuration and a
+    fault {!Plan.spec} into one runnable, versionable artefact
+    ([vodctl chaos examples/crash_rejoin.scn]).
+
+    Format — one directive per line, [#] starts a comment:
+    {v
+    # system
+    n 64          # boxes                 u 2.0   # upload per box
+    d 4.0         # storage per box       c 4     # stripes per video
+    k 4           # replication           m 48    # catalog (default: max)
+    mu 1.2        # swarm growth          duration 30
+    groups 8      # topology groups (optional)
+    # run
+    rounds 200    seed 42    rate 2.0     # Poisson background arrivals
+    # repair controller
+    target_k 3    budget 4    transfer_rounds 5    backoff 2 32
+    # fault events: "at <round> <event> <args...>"
+    at 40 crash 3 7           # boxes 3 and 7 fail-stop
+    at 80 rejoin 3 7
+    at 50 group-crash 2       # correlated outage of topology group 2
+    at 70 group-rejoin 2
+    at 60 degrade 5 0.5       # box 5 at half upload
+    at 90 restore 5
+    at 30 flaky 0.05          # 5% transient connection failures
+    at 35 flaky 0             # ... back off
+    at 100 flash 0 20         # 20 extra viewers rush video 0
+    v} *)
+
+type t = {
+  name : string;
+  n : int;
+  u : float;
+  d : float;
+  c : int;
+  k : int;
+  m : int option;  (** Catalog size; [None] = storage-maximal. *)
+  mu : float;
+  duration : int;
+  rounds : int;
+  seed : int;
+  rate : float;  (** Poisson background arrival rate per round. *)
+  groups : int option;  (** Topology groups; [None] = no topology. *)
+  target_k : int;
+  budget : int;
+  transfer_rounds : int;
+  backoff_base : int;
+  backoff_cap : int;
+  events : Plan.spec;  (** In file order. *)
+}
+
+val default : t
+(** [n 64, u 2.0, d 4.0, c 4, k 4, m None, mu 1.2, duration 30,
+    rounds 100, seed 42, rate 2.0, groups None, target_k 3, budget 4,
+    transfer_rounds 5, backoff 2 32], no events, named ["default"]. *)
+
+val parse : name:string -> string -> (t, string) result
+(** Parse scenario text; errors carry the line number. *)
+
+val load : path:string -> (t, string) result
+(** Read and {!parse} a file; the scenario is named by its basename. *)
+
+val to_text : t -> string
+(** Render back to the file format ([parse (to_text s)] round-trips). *)

@@ -7,7 +7,13 @@ let obs_demands = Vod_obs.Registry.counter Vod_obs.Registry.default "engine.dema
 let obs_unserved = Vod_obs.Registry.counter Vod_obs.Registry.default "engine.unserved"
 let obs_active = Vod_obs.Registry.gauge Vod_obs.Registry.default "engine.active_requests"
 
-type kind = Preload | Postponed | Relayed_preload | Relayed_postponed
+let obs_link_failures =
+  Vod_obs.Registry.counter Vod_obs.Registry.default "fault.link_failures"
+
+let obs_repair_served =
+  Vod_obs.Registry.counter Vod_obs.Registry.default "repair.slot_rounds_served"
+
+type kind = Preload | Postponed | Relayed_preload | Relayed_postponed | Repair_transfer
 
 type request = {
   stripe : int;
@@ -15,6 +21,7 @@ type request = {
   requester : int;
   issued_at : int;
   kind : kind;
+  target : int; (* rounds of service needed to complete (T for user requests) *)
   mutable progress : int;
   mutable last_server : int; (* box that served the previous round, -1 *)
 }
@@ -41,6 +48,10 @@ type round_report = {
   rewired : int;
   cross_group : int;
   busy_boxes : int;
+  offline_boxes : int;
+  faulted : int;
+  repair_active : int;
+  repair_served : int;
 }
 
 exception Defeated of round_report
@@ -48,7 +59,7 @@ exception Defeated of round_report
 type t = {
   params : Params.t;
   fleet : Box.t array;
-  alloc : Allocation.t;
+  mutable alloc : Allocation.t;
   compensation : Vod_analysis.Theorem2.compensation option;
   policy : failure_policy;
   preloading : bool;
@@ -58,6 +69,9 @@ type t = {
   mutable last_loads : int array;
   cumulative_loads : int array; (* stripe-rounds served per box, ever *)
   capacity : int array; (* matching upload slots per box, net of reservations *)
+  upload_factor : float array; (* per-box degradation factor in [0, 1] *)
+  mutable link_faults : (time:int -> owner:int -> server:int -> bool) option;
+  completed_repairs : (int * int) Vec.t; (* (stripe, dest), completion order *)
   mutable now : int;
   active : request Vec.t;
   scheduled : (int, request Vec.t) Hashtbl.t; (* activation time -> requests *)
@@ -80,6 +94,18 @@ type t = {
   startups : int Vec.t; (* realised start-up delays, in rounds *)
 }
 
+(* Matching upload slots of box [b]: its nominal upload, scaled by the
+   current degradation factor, net of any static relay reservation. *)
+let compute_capacity ~params ~fleet ~compensation ~factor b =
+  let reserved =
+    match compensation with
+    | Some comp -> comp.Vod_analysis.Theorem2.reserved.(b)
+    | None -> 0.0
+  in
+  max 0
+    (Params.upload_slots params
+       (Float.max 0.0 ((fleet.(b).Box.upload *. factor) -. reserved)))
+
 let create ~params ~fleet ~alloc ?compensation ?(policy = Fail_fast)
     ?(preloading = true) ?(scheduler = Arbitrary) ?(matching = Scratch) ?topology () =
   let n = params.Params.n in
@@ -94,15 +120,7 @@ let create ~params ~fleet ~alloc ?compensation ?(policy = Fail_fast)
   if Catalog.stripes_per_video (Allocation.catalog alloc) <> params.Params.c then
     invalid_arg "Engine.create: allocation stripe count <> params.c";
   let capacity =
-    Array.mapi
-      (fun b box ->
-        let reserved =
-          match compensation with
-          | Some comp -> comp.Vod_analysis.Theorem2.reserved.(b)
-          | None -> 0.0
-        in
-        max 0 (Params.upload_slots params (Float.max 0.0 (box.Box.upload -. reserved))))
-      fleet
+    Array.init n (compute_capacity ~params ~fleet ~compensation ~factor:1.0)
   in
   let m = Catalog.videos (Allocation.catalog alloc) in
   {
@@ -118,6 +136,9 @@ let create ~params ~fleet ~alloc ?compensation ?(policy = Fail_fast)
     last_loads = Array.make n 0;
     cumulative_loads = Array.make n 0;
     capacity;
+    upload_factor = Array.make n 1.0;
+    link_faults = None;
+    completed_repairs = Vec.create ();
     now = 0;
     active = Vec.create ();
     scheduled = Hashtbl.create 64;
@@ -174,6 +195,33 @@ let swarm_size t v =
 let active_request_count t = Vec.length t.active
 let upload_slots_of_box t b = t.capacity.(b)
 
+let set_alloc t alloc =
+  let cat = Allocation.catalog alloc and cat0 = Allocation.catalog t.alloc in
+  if Allocation.n_boxes alloc <> t.params.Params.n then
+    invalid_arg "Engine.set_alloc: allocation box count";
+  if
+    Catalog.stripes_per_video cat <> Catalog.stripes_per_video cat0
+    || Catalog.videos cat <> Catalog.videos cat0
+  then invalid_arg "Engine.set_alloc: catalog shape changed";
+  t.alloc <- alloc
+
+let set_upload_factor t ~box ~factor =
+  if box < 0 || box >= t.params.Params.n then
+    invalid_arg "Engine.set_upload_factor: box out of range";
+  if not (Float.is_finite factor) || factor < 0.0 || factor > 1.0 then
+    invalid_arg "Engine.set_upload_factor: factor outside [0, 1]";
+  t.upload_factor.(box) <- factor;
+  t.capacity.(box) <-
+    compute_capacity ~params:t.params ~fleet:t.fleet ~compensation:t.compensation
+      ~factor box
+
+let upload_factor t box =
+  if box < 0 || box >= t.params.Params.n then
+    invalid_arg "Engine.upload_factor: box out of range";
+  t.upload_factor.(box)
+
+let set_link_faults t f = t.link_faults <- f
+
 let relay_of t b =
   match t.compensation with
   | None -> None
@@ -215,6 +263,7 @@ let emit_requests t ~box ~video ~time =
         requester;
         issued_at = at;
         kind;
+        target = t.params.Params.duration;
         progress = 0;
         last_server = -1;
       }
@@ -263,9 +312,76 @@ let emit_requests t ~box ~video ~time =
    relays). *)
 let cachers req =
   match req.kind with
-  | Preload | Postponed -> [ req.owner ]
+  | Preload | Postponed | Repair_transfer -> [ req.owner ]
   | Relayed_preload | Relayed_postponed ->
       if req.requester = req.owner then [ req.owner ] else [ req.owner; req.requester ]
+
+(* ------------------------------------------------------------------ *)
+(* Repair transfers (vod_fault's maintenance controller)               *)
+(* ------------------------------------------------------------------ *)
+
+(* A repair transfer is a real request in the connection matching: it
+   competes for donor upload slots like any stripe request, but it does
+   not make its destination busy, enter the playback-cache window or
+   touch the swarm/start-up accounting — it is background maintenance
+   traffic, not a viewer. *)
+let inject_repair t ~stripe ~dest ~rounds =
+  let total = Catalog.total_stripes (Allocation.catalog t.alloc) in
+  if stripe < 0 || stripe >= total then
+    invalid_arg "Engine.inject_repair: stripe out of range";
+  if dest < 0 || dest >= t.params.Params.n then
+    invalid_arg "Engine.inject_repair: dest out of range";
+  if not t.online.(dest) then invalid_arg "Engine.inject_repair: dest is offline";
+  if rounds < 1 then invalid_arg "Engine.inject_repair: rounds < 1";
+  let at = t.now + 1 in
+  schedule t at
+    {
+      stripe;
+      owner = dest;
+      requester = dest;
+      issued_at = at;
+      kind = Repair_transfer;
+      target = rounds;
+      progress = 0;
+      last_server = -1;
+    }
+
+let abort_repair t ~stripe ~dest =
+  let removed = ref false in
+  let filter vec =
+    let keep =
+      Vec.to_list vec
+      |> List.filter (fun r ->
+             let doomed =
+               r.kind = Repair_transfer && r.stripe = stripe && r.owner = dest
+             in
+             if doomed then removed := true;
+             not doomed)
+    in
+    Vec.clear vec;
+    List.iter (Vec.push vec) keep
+  in
+  filter t.active;
+  Hashtbl.iter (fun _ batch -> filter batch) t.scheduled;
+  !removed
+
+let drain_completed_repairs t =
+  let l = Vec.to_list t.completed_repairs in
+  Vec.clear t.completed_repairs;
+  l
+
+(* Completed transfers linger in [active] until the next step's retire
+   phase; they are no longer in flight, so they are not counted. *)
+let repair_in_flight t =
+  let count = ref 0 in
+  let tally vec =
+    Vec.iter
+      (fun r -> if r.kind = Repair_transfer && r.progress < r.target then incr count)
+      vec
+  in
+  tally t.active;
+  Hashtbl.iter (fun _ batch -> tally batch) t.scheduled;
+  !count
 
 let prune_recent t =
   let lo = window_start t in
@@ -304,6 +420,8 @@ let video_request_stats t =
   let by_video = Hashtbl.create 16 in
   Vec.iter
     (fun req ->
+      if req.kind = Repair_transfer then ()
+      else
       let video = req.stripe / c in
       let entry =
         match Hashtbl.find_opt by_video video with
@@ -347,12 +465,15 @@ let startup_delays t = Vec.to_array t.startups
    exactly as a real departure mid-video would. *)
 let cancel t box =
   if box < 0 || box >= t.params.Params.n then invalid_arg "Engine.cancel: box out of range";
-  let keep = Vec.to_list t.active |> List.filter (fun r -> r.owner <> box) in
+  (* the viewer leaves, but any repair transfer towards the box is
+     maintenance traffic and survives the cancellation *)
+  let keeps r = r.owner <> box || r.kind = Repair_transfer in
+  let keep = Vec.to_list t.active |> List.filter keeps in
   Vec.clear t.active;
   List.iter (Vec.push t.active) keep;
   Hashtbl.iter
     (fun _ batch ->
-      let keep = Vec.to_list batch |> List.filter (fun r -> r.owner <> box) in
+      let keep = Vec.to_list batch |> List.filter keeps in
       Vec.clear batch;
       List.iter (Vec.push batch) keep)
     t.scheduled;
@@ -375,6 +496,11 @@ let set_online t box online =
         Vec.clear batch;
         List.iter (Vec.push batch) keep)
       t.scheduled;
+    (* demands registered but not yet turned into requests die with the
+       box too, so stateless generators compose with churn plans *)
+    let keep = Vec.to_list t.pending |> List.filter (fun (pb, _) -> pb <> box) in
+    Vec.clear t.pending;
+    List.iter (Vec.push t.pending) keep;
     t.busy_until.(box) <- t.now
   end;
   t.online.(box) <- online
@@ -386,23 +512,36 @@ let step t =
   Vod_obs.Registry.incr obs_rounds;
   let new_demands =
     Vod_obs.Span.with_ ~name:"demand-admit" @@ fun () ->
-    (* 1. Turn pending user demands into scheduled requests. *)
-    let new_demands = Vec.length t.pending in
-    Vec.iter (fun (box, video) -> emit_requests t ~box ~video ~time) t.pending;
+    (* 1. Turn pending user demands into scheduled requests.  Demands
+       whose box went offline since registration are skipped silently,
+       like demands on busy boxes, so stateless generators compose with
+       churn plans. *)
+    let new_demands = ref 0 in
+    Vec.iter
+      (fun (box, video) ->
+        if t.online.(box) then begin
+          incr new_demands;
+          emit_requests t ~box ~video ~time
+        end)
+      t.pending;
     Vec.clear t.pending;
-    (* 2. Activate requests scheduled for this round. *)
+    let new_demands = !new_demands in
+    (* 2. Activate requests scheduled for this round.  Repair transfers
+       stay out of the playback-cache window: a partially copied replica
+       is not cache content other viewers may stream from. *)
     (match Hashtbl.find_opt t.scheduled time with
     | None -> ()
     | Some batch ->
         Vec.iter
           (fun req ->
             Vec.push t.active req;
-            Vec.push (recent_for t req.stripe) req)
+            if req.kind <> Repair_transfer then
+              Vec.push (recent_for t req.stripe) req)
           batch;
         Hashtbl.remove t.scheduled time);
     (* 3. Retire completed requests and prune stale cache entries. *)
     let still_active =
-      Vec.to_list t.active |> List.filter (fun r -> r.progress < t.params.Params.duration)
+      Vec.to_list t.active |> List.filter (fun r -> r.progress < r.target)
     in
     Vec.clear t.active;
     List.iter (Vec.push t.active) still_active;
@@ -427,9 +566,12 @@ let step t =
       ~right_cap:t.right_cap_scratch;
     Array.iteri
       (fun l req ->
+        (* a repair transfer must copy from a peer: the destination box
+           never serves itself *)
+        let usable b = t.online.(b) && (req.kind <> Repair_transfer || b <> req.owner) in
         Array.iter
           (fun b ->
-            if t.online.(b) then Vod_graph.Bipartite.add_edge instance ~left:l ~right:b)
+            if usable b then Vod_graph.Bipartite.add_edge instance ~left:l ~right:b)
           (Allocation.boxes_of_stripe t.alloc req.stripe);
         Vec.iter
           (fun candidate ->
@@ -439,7 +581,7 @@ let step t =
             then
               List.iter
                 (fun b ->
-                  if t.online.(b) then
+                  if usable b then
                     Vod_graph.Bipartite.add_edge instance ~left:l ~right:b)
                 (cachers candidate))
           (recent_for t req.stripe))
@@ -514,46 +656,82 @@ let step t =
     Array.iteri
       (fun b load -> t.cumulative_loads.(b) <- t.cumulative_loads.(b) + load)
       outcome.Vod_graph.Bipartite.right_load;
-    (* 5. Progress the served requests and account cache vs allocation. *)
+    (* 5. Progress the served requests and account cache vs allocation.
+       A matched connection may still be dropped by a transient link
+       fault (the slot was consumed; the data never arrived): the
+       request stalls exactly like an unmatched one. *)
     let served_from_cache = ref 0 and rewired = ref 0 and cross_group = ref 0 in
+    let user_active = ref 0 and user_served = ref 0 in
+    let repair_active = ref 0 and repair_served = ref 0 in
+    let faulted = ref 0 in
     Array.iteri
       (fun l req ->
+        let is_repair = req.kind = Repair_transfer in
+        if is_repair then incr repair_active else incr user_active;
         let server = outcome.Vod_graph.Bipartite.assignment.(l) in
         if server >= 0 then begin
-          if not (Allocation.possesses t.alloc ~box:server ~stripe:req.stripe) then
-            incr served_from_cache;
-          if req.last_server >= 0 && req.last_server <> server then incr rewired;
-          (match t.topology with
-          | Some topo ->
-              if not (Topology.same_group topo req.owner server) then incr cross_group
-          | None -> ());
-          req.last_server <- server;
-          if req.progress = 0 then begin
-            (* first byte of this stripe: one fewer stream to wait for *)
-            t.awaiting_first.(req.owner) <- t.awaiting_first.(req.owner) - 1;
-            if t.awaiting_first.(req.owner) = 0 then
-              Vec.push t.startups (time - t.demand_round.(req.owner))
-          end;
-          req.progress <- req.progress + 1
+          let dropped =
+            match t.link_faults with
+            | Some fault -> fault ~time ~owner:req.owner ~server
+            | None -> false
+          in
+          if dropped then begin
+            incr faulted;
+            Vod_obs.Registry.incr obs_link_failures
+          end
+          else begin
+            if is_repair then incr repair_served else incr user_served;
+            if not is_repair then begin
+              (* the cache/rewiring/locality tallies describe viewer
+                 connections; maintenance traffic stays out of them *)
+              if not (Allocation.possesses t.alloc ~box:server ~stripe:req.stripe)
+              then incr served_from_cache;
+              if req.last_server >= 0 && req.last_server <> server then incr rewired;
+              match t.topology with
+              | Some topo ->
+                  if not (Topology.same_group topo req.owner server) then
+                    incr cross_group
+              | None -> ()
+            end;
+            req.last_server <- server;
+            if (not is_repair) && req.progress = 0 then begin
+              (* first byte of this stripe: one fewer stream to wait for *)
+              t.awaiting_first.(req.owner) <- t.awaiting_first.(req.owner) - 1;
+              if t.awaiting_first.(req.owner) = 0 then
+                Vec.push t.startups (time - t.demand_round.(req.owner))
+            end;
+            req.progress <- req.progress + 1;
+            if is_repair && req.progress >= req.target then
+              (* the replica copy is complete: hand it to the
+                 maintenance controller at the next drain *)
+              Vec.push t.completed_repairs (req.stripe, req.owner)
+          end
         end)
       requests;
-    let unserved = n_left - outcome.Vod_graph.Bipartite.matched in
+    let unserved = !user_active - !user_served in
     Vod_obs.Registry.add obs_unserved unserved;
-    if unserved > 0 then t.last_violator <- Vod_graph.Bipartite.hall_violator instance;
-    let busy = ref 0 in
+    Vod_obs.Registry.add obs_repair_served !repair_served;
+    if outcome.Vod_graph.Bipartite.matched < n_left then
+      t.last_violator <- Vod_graph.Bipartite.hall_violator instance;
+    let busy = ref 0 and offline = ref 0 in
     for b = 0 to n - 1 do
-      if not (is_idle t b) then incr busy
+      if not (is_idle t b) then incr busy;
+      if not t.online.(b) then incr offline
     done;
     {
       time;
       new_demands;
-      active_requests = n_left;
-      served = outcome.Vod_graph.Bipartite.matched;
+      active_requests = !user_active;
+      served = !user_served;
       unserved;
       served_from_cache = !served_from_cache;
       rewired = !rewired;
       cross_group = !cross_group;
       busy_boxes = !busy;
+      offline_boxes = !offline;
+      faulted = !faulted;
+      repair_active = !repair_active;
+      repair_served = !repair_served;
     }
   in
   if report.unserved > 0 && t.policy = Fail_fast then raise (Defeated report);
@@ -573,6 +751,10 @@ let report_fields : (string * (round_report -> int)) list =
     ("rewired", fun r -> r.rewired);
     ("cross_group", fun r -> r.cross_group);
     ("busy_boxes", fun r -> r.busy_boxes);
+    ("offline_boxes", fun r -> r.offline_boxes);
+    ("faulted", fun r -> r.faulted);
+    ("repair_active", fun r -> r.repair_active);
+    ("repair_served", fun r -> r.repair_served);
   ]
 
 let pp_report fmt r =

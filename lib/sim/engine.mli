@@ -29,15 +29,30 @@
 
 open Vod_model
 
-type kind = Preload | Postponed | Relayed_preload | Relayed_postponed
+type kind =
+  | Preload
+  | Postponed
+  | Relayed_preload
+  | Relayed_postponed
+  | Repair_transfer
+      (** A re-replication copy scheduled by the maintenance controller
+          ({!Vod_fault.Mend}): it competes for donor upload slots in the
+          connection matching like any stripe request, but its owner is
+          the {e destination} box of the new replica, it never makes
+          that box busy, and it stays out of the swarm, cache-window and
+          start-up accounting. *)
 
 type request = {
   stripe : int;
-  owner : int;  (** The box that will play the data. *)
+  owner : int;  (** The box that will play (or, for repairs, store) the data. *)
   requester : int;  (** The box issuing the request ([owner] or its relay). *)
   issued_at : int;
   kind : kind;
-  mutable progress : int;  (** Positions downloaded so far, 0..T. *)
+  target : int;
+      (** Rounds of service needed to complete: the video duration [T]
+          for user requests, the configured transfer length for repair
+          transfers. *)
+  mutable progress : int;  (** Positions downloaded so far, 0..[target]. *)
   mutable last_server : int;  (** Box that served last round, or -1. *)
 }
 
@@ -91,9 +106,9 @@ type matching_engine =
 type round_report = {
   time : int;
   new_demands : int;
-  active_requests : int;
-  served : int;
-  unserved : int;
+  active_requests : int;  (** Active viewer requests (repairs counted apart). *)
+  served : int;  (** Viewer requests that made progress this round. *)
+  unserved : int;  (** Viewer requests that stalled (unmatched or faulted). *)
   served_from_cache : int;
       (** Connections whose server holds the data only in its playback
           cache — the "swarming" share; the rest is "sourcing" from the
@@ -105,6 +120,18 @@ type round_report = {
       (** Served connections crossing topology groups (0 when no
           topology was supplied). *)
   busy_boxes : int;
+  offline_boxes : int;  (** Boxes offline (crashed) during the round. *)
+  faulted : int;
+      (** Matched connections dropped by a transient link fault
+          ({!set_link_faults}) — the slot was consumed but no data
+          arrived, so the request stalled.  [unserved - faulted] (when
+          non-negative) is the stall count attributable to matching
+          infeasibility rather than to injected faults. *)
+  repair_active : int;  (** Repair transfers in the round's matching. *)
+  repair_served : int;
+      (** Repair transfers that made progress this round — each consumed
+          one donor upload slot that viewer requests could otherwise
+          have used. *)
 }
 
 exception Defeated of round_report
@@ -170,10 +197,67 @@ val cancel : t -> int -> unit
 
 val set_online : t -> int -> bool -> unit
 (** Churn injection.  Taking a box offline drops its in-flight and
-    scheduled requests (the viewer is gone), removes its upload slots
-    and replicas from the matching, and hides its cache; bringing it
-    back restores its static replicas and upload.
+    scheduled requests and its still-pending demands (the viewer is
+    gone), removes its upload slots and replicas from the matching, and
+    hides its cache; bringing it back restores its static replicas and
+    upload.  Repair transfers towards the box die with it — the partial
+    copy is lost.
     @raise Invalid_argument on out-of-range box. *)
+
+(** {2 Fault injection and self-healing hooks}
+
+    The handles the deterministic fault layer ([vod_fault]) drives.
+    None of them is consulted on the plain path: with no degradation,
+    no link-fault predicate and no injected repairs the engine is
+    bit-identical to one created before these hooks existed. *)
+
+val set_alloc : t -> Vod_model.Allocation.t -> unit
+(** Replace the static allocation — the maintenance controller installs
+    repaired replicas this way.  The catalog shape (videos, stripes per
+    video) and box count must match; stripe ids stay meaningful across
+    the swap, so in-flight requests are unaffected.
+    @raise Invalid_argument on a shape mismatch. *)
+
+val set_upload_factor : t -> box:int -> factor:float -> unit
+(** Degrade (or restore) a box's upload: its matching capacity becomes
+    [floor ((u_b * factor - reserved) * c)], clamped at 0.  [factor]
+    must lie in [0, 1]; 1 restores the nominal capacity.
+    @raise Invalid_argument on out-of-range box or factor. *)
+
+val upload_factor : t -> int -> float
+(** The box's current degradation factor (1 when undegraded). *)
+
+val set_link_faults : t -> (time:int -> owner:int -> server:int -> bool) option -> unit
+(** Install (or clear) the transient-connection-failure predicate.
+    After the matching, every matched connection consults it; [true]
+    drops the connection {e after} it consumed the server's upload slot:
+    the request stalls and is counted in {!round_report.faulted}.  The
+    predicate must be a pure function of its arguments for runs to be
+    reproducible (the fault layer derives it from a seed by hashing, so
+    evaluation order never matters). *)
+
+val inject_repair : t -> stripe:int -> dest:int -> rounds:int -> unit
+(** Schedule a {!Repair_transfer}: from the next round on, box [dest]
+    requests [stripe] from the boxes possessing it until it has been
+    served [rounds] times, then the completion is reported through
+    {!drain_completed_repairs}.  The transfer consumes real donor
+    upload slots in every round it is served.
+    @raise Invalid_argument on out-of-range arguments or an offline
+    [dest]. *)
+
+val abort_repair : t -> stripe:int -> dest:int -> bool
+(** Withdraw an in-flight repair transfer (maintenance gives up, e.g.
+    after repeated donor saturation); [false] when no such transfer was
+    active or scheduled. *)
+
+val drain_completed_repairs : t -> (int * int) list
+(** [(stripe, dest)] pairs of repair transfers completed since the last
+    drain, in completion order; draining clears the buffer.  The caller
+    (the maintenance controller) is responsible for installing the
+    replica via {!set_alloc}. *)
+
+val repair_in_flight : t -> int
+(** Repair transfers currently active or scheduled. *)
 
 val last_loads : t -> int array
 (** Upload slots used per box in the most recent round's matching. *)
@@ -234,5 +318,6 @@ val run :
   t -> rounds:int -> demands_for:(t -> int -> (int * int) list) -> round_report list
 (** [run t ~rounds ~demands_for] drives [rounds] steps; before each it
     feeds the demands returned by [demands_for t time] (pairs of
-    [box, video]; demands on busy boxes are skipped silently so that
-    stateless generators stay simple).  Reports are in round order. *)
+    [box, video]; demands on busy {e and offline} boxes are skipped
+    silently so that stateless generators compose with churn plans).
+    Reports are in round order. *)

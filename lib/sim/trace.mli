@@ -18,7 +18,7 @@ val run : t -> Engine.t -> rounds:int -> demands_for:(Engine.t -> int -> (int * 
 val to_csv : t -> string
 (** Header line then one line per round; columns follow
     {!Engine.report_fields} (currently
-    [time,new_demands,active_requests,served,unserved,served_from_cache,rewired,cross_group,busy_boxes]). *)
+    [time,new_demands,active_requests,served,unserved,served_from_cache,rewired,cross_group,busy_boxes,offline_boxes,faulted,repair_active,repair_served]). *)
 
 val save_csv : t -> path:string -> unit
 

@@ -151,9 +151,9 @@ let test_trace_csv_format () =
   checki "header + 3 rows" 4 (List.length lines);
   checkb "header" true
     (List.hd lines
-    = "time,new_demands,active_requests,served,unserved,served_from_cache,rewired,cross_group,busy_boxes");
+    = "time,new_demands,active_requests,served,unserved,served_from_cache,rewired,cross_group,busy_boxes,offline_boxes,faulted,repair_active,repair_served");
   (* idle system: all-zero data rows apart from time *)
-  checkb "first data row" true (List.nth lines 1 = "1,0,0,0,0,0,0,0,0")
+  checkb "first data row" true (List.nth lines 1 = "1,0,0,0,0,0,0,0,0,0,0,0,0")
 
 let test_trace_failure_rounds () =
   (* pathological allocation: defeats are recorded *)
