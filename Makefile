@@ -1,4 +1,4 @@
-.PHONY: all build test check fuzz bench bench-quick bench-json bench-compare fmt clean
+.PHONY: all build test check fuzz battery bench bench-quick bench-json bench-compare fmt clean
 
 all: build
 
@@ -20,6 +20,14 @@ check: build
 	dune build @fuzz
 
 fuzz: check
+
+# The curated scenario battery: every (scenario x engine config) cell
+# under examples/battery/ must stay inside its declared KPI budgets.
+# The ranked vod-scorecard/1 JSONL lands in battery_scorecard.jsonl
+# (byte-identical at any --jobs); the ranking table goes to stderr.
+# Nonzero exit on any budget breach, so this is a CI gate.
+battery: build
+	dune exec bin/vodctl.exe -- battery examples/battery --jobs 2 --out battery_scorecard.jsonl
 
 # Extra flags pass through: make bench BENCH_ARGS="--no-micro"
 bench:

@@ -7,6 +7,7 @@
      attack    drive an adversarial generator and report the outcome
      sweep     threshold sweep over the upload capacity u
      chaos     run a fault-injection scenario with self-healing repair
+     battery   run a scenario battery into a ranked KPI scorecard
      obs-report  validate and summarise a vod-obs JSONL trace          *)
 
 open Cmdliner
@@ -872,6 +873,105 @@ let chaos_cmd =
        $ jobs_arg $ out_arg))
 
 (* ------------------------------------------------------------------ *)
+(* battery                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let battery_cmd =
+  let run paths configs jobs out =
+    let collect path =
+      if Sys.is_directory path then
+        Sys.readdir path |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".scn")
+        |> List.sort String.compare
+        |> List.map (Filename.concat path)
+      else [ path ]
+    in
+    match List.concat_map collect paths with
+    | exception Sys_error e -> `Error (false, e)
+    | [] -> `Error (false, "no .scn scenario files found")
+    | files -> (
+        let rec load_all acc = function
+          | [] -> Ok (List.rev acc)
+          | f :: rest -> (
+              match Vod.Fault.Scenario.load ~path:f with
+              | Ok s -> load_all (s :: acc) rest
+              | Error _ as e -> e)
+        in
+        let rec parse_configs acc = function
+          | [] -> Ok (List.rev acc)
+          | name :: rest -> (
+              match Vod.Fault.Chaos.config_of_name name with
+              | Ok c -> parse_configs (c :: acc) rest
+              | Error _ as e -> e)
+        in
+        let config_names =
+          String.split_on_char ',' configs |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+        in
+        match (load_all [] files, parse_configs [] config_names) with
+        | Error e, _ | _, Error e -> `Error (false, e)
+        | Ok scenarios, Ok configs -> (
+            match Vod.Battery.Battery.run ?jobs ~configs scenarios with
+            | Error e -> `Error (false, e)
+            | Ok report ->
+                (* scorecard (machine-readable) on stdout or --out; the
+                   human-readable ranking goes to stderr so piping the
+                   JSONL stays clean *)
+                (match out with
+                | None -> print_string report.Vod.Battery.Battery.jsonl
+                | Some path ->
+                    Out_channel.with_open_text path (fun oc ->
+                        Out_channel.output_string oc report.Vod.Battery.Battery.jsonl);
+                    Printf.eprintf "scorecard written to %s\n" path);
+                prerr_string report.Vod.Battery.Battery.table;
+                if Vod.Battery.Battery.ok report then `Ok ()
+                else
+                  `Error
+                    ( false,
+                      Printf.sprintf "%d of %d cells breached their KPI budgets"
+                        report.Vod.Battery.Battery.breached
+                        (List.length report.Vod.Battery.Battery.cells) )))
+  in
+  let paths_arg =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:"Scenario files, or directories whose .scn files are run in name order.")
+  in
+  let configs_arg =
+    Arg.(
+      value
+      & opt string "scratch,incremental"
+      & info [ "configs" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated engine configs forming the matrix columns: $(b,scratch), \
+             $(b,incremental), $(b,sticky), $(b,prefer-cache), $(b,balance-load), \
+             $(b,round-robin).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"J"
+          ~doc:"Workers for parallel cells; the scorecard is byte-identical at any $(docv).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the vod-scorecard/1 JSONL to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "battery"
+       ~doc:
+         "Run a scenario battery: every (scenario x engine config) cell through the \
+          chaos runner, ranked into a deterministic KPI scorecard (exit 0 iff no cell \
+          breaches its declared KPI budgets).")
+    Term.(ret (const run $ paths_arg $ configs_arg $ jobs_arg $ out_arg))
+
+(* ------------------------------------------------------------------ *)
 (* obs-report                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -986,6 +1086,7 @@ let () =
             plan_cmd;
             check_cmd;
             chaos_cmd;
+            battery_cmd;
             obs_report_cmd;
             proto_cmd;
           ]))

@@ -1,0 +1,41 @@
+(** The scenario battery: a matrix of (engine/alloc config × scenario)
+    cells run through the chaos runner and ranked into a deterministic
+    KPI scorecard.
+
+    {b Determinism contract:} the scorecard (JSONL and table) is a pure
+    function of the scenario list and config list.  Each cell's bytes
+    come only from {!Vod_fault.Chaos} outcomes (themselves pure in
+    [(scenario, config, seed)]), floats are printed fixed-point, the
+    ranking is a total order, and cells are collected by index from
+    {!Vod_par.Par.map} — so two runs of the same battery, at any
+    [--jobs] value, are byte-identical. *)
+
+type cell = {
+  scenario : Vod_fault.Scenario.t;
+  config : Vod_fault.Chaos.engine_config;
+  kpi : Kpi.values;
+  breaches : string list;  (** {!Kpi.breaches} against the scenario's budgets. *)
+}
+
+type report = {
+  cells : cell list;  (** Ranked worst-first. *)
+  breached : int;  (** Cells with at least one budget breach. *)
+  jsonl : string;  (** The [vod-scorecard/1] stream: meta, cells in rank order, summary. *)
+  table : string;  (** Human-readable ranking ({!Vod_util.Table}). *)
+}
+
+val run :
+  ?jobs:int ->
+  configs:Vod_fault.Chaos.engine_config list ->
+  Vod_fault.Scenario.t list ->
+  (report, string) result
+(** Run every (scenario, config) cell — scenarios in list order crossed
+    with configs in list order — fanned out over [jobs] workers.  Cells
+    are ranked worst-first: most breaches, then highest rejection rate,
+    startup p95 and sourcing share, with scenario/config names as the
+    final tie-break.  Validates every scenario up front, so [Error]
+    (prefixed with the scenario name) is returned, not raised, from
+    workers. *)
+
+val ok : report -> bool
+(** True when no cell breached its budgets — the battery's CI verdict. *)

@@ -1,0 +1,61 @@
+module Engine = Vod_sim.Engine
+module Scenario = Vod_fault.Scenario
+module Chaos = Vod_fault.Chaos
+module Stats = Vod_util.Stats
+
+type values = {
+  rejection_rate : float;
+  startup_p95 : float;
+  time_to_repair : int;
+  sourcing_share : float;
+  recovered : bool;
+}
+
+let of_outcome (o : Chaos.outcome) =
+  let served = ref 0 and unserved = ref 0 and cached = ref 0 in
+  List.iter
+    (fun (r : Engine.round_report) ->
+      served := !served + r.Engine.served;
+      unserved := !unserved + r.Engine.unserved;
+      cached := !cached + r.Engine.served_from_cache)
+    o.Chaos.reports;
+  let requests = !served + !unserved in
+  {
+    rejection_rate =
+      (if requests = 0 then 0.0 else float_of_int !unserved /. float_of_int requests);
+    startup_p95 =
+      (if Array.length o.Chaos.startup_delays = 0 then 0.0
+       else Stats.percentile (Array.map float_of_int o.Chaos.startup_delays) 95.0);
+    time_to_repair = o.Chaos.time_to_full_replication;
+    sourcing_share =
+      (if !served = 0 then 0.0 else float_of_int (!served - !cached) /. float_of_int !served);
+    recovered = o.Chaos.recovered;
+  }
+
+(* Breach strings are part of the scorecard bytes: fixed-point floats
+   only, one deterministic phrase per KPI. *)
+let breaches (budget : Scenario.kpi) v =
+  let out = ref [] in
+  let push fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  (match budget.Scenario.max_rejection with
+  | Some limit when v.rejection_rate > limit -> push "rejection %.4f > %.4f" v.rejection_rate limit
+  | _ -> ());
+  (match budget.Scenario.max_startup_p95 with
+  | Some limit when v.startup_p95 > limit -> push "startup-p95 %.4f > %.4f" v.startup_p95 limit
+  | _ -> ());
+  (match budget.Scenario.max_time_to_repair with
+  | Some limit when v.time_to_repair < 0 -> push "time-to-repair never <= %d" limit
+  | Some limit when v.time_to_repair > limit ->
+      push "time-to-repair %d > %d" v.time_to_repair limit
+  | _ -> ());
+  (match budget.Scenario.max_sourcing_share with
+  | Some limit when v.sourcing_share > limit ->
+      push "sourcing-share %.4f > %.4f" v.sourcing_share limit
+  | _ -> ());
+  if budget.Scenario.require_recovery && not v.recovered then push "recovery required";
+  List.rev !out
+
+let to_json v =
+  Printf.sprintf
+    {|"rejection":%.4f,"startup_p95":%.4f,"time_to_repair":%d,"sourcing_share":%.4f,"recovered":%b|}
+    v.rejection_rate v.startup_p95 v.time_to_repair v.sourcing_share v.recovered

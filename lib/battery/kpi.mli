@@ -1,0 +1,34 @@
+(** The scorecard's key performance indicators, extracted from one
+    chaos outcome, and their comparison against a scenario's declared
+    {!Vod_fault.Scenario.kpi} budgets. *)
+
+type values = {
+  rejection_rate : float;
+      (** Stalled request-rounds over all request-rounds
+          ([unserved / (served + unserved)], 0 with no requests). *)
+  startup_p95 : float;
+      (** 95th percentile (linear interpolation) of the realised
+          start-up delays, in rounds; 0 with no admitted demand. *)
+  time_to_repair : int;
+      (** Rounds from the last disruptive event to full target
+          replication; -1 when never reached. *)
+  sourcing_share : float;
+      (** Share of served connections sourcing from static replicas
+          rather than swarming from playback caches — the server-load
+          proxy. *)
+  recovered : bool;  (** The repair controller's final verdict. *)
+}
+
+val of_outcome : Vod_fault.Chaos.outcome -> values
+
+val breaches : Vod_fault.Scenario.kpi -> values -> string list
+(** Human-readable breach descriptions, one per violated budget, in the
+    fixed KPI order (rejection, startup-p95, time-to-repair,
+    sourcing-share, recovery).  Empty when the cell is within budget.
+    An unreached repair ([time_to_repair = -1]) breaches any
+    [max-time-to-repair] budget.  Deterministically formatted: the
+    strings are part of the scorecard bytes. *)
+
+val to_json : values -> string
+(** The KPI fields as a JSON object fragment (no braces), fixed-point
+    floats — deterministic across platforms. *)

@@ -59,9 +59,16 @@ module Check = Vod_check
 
 module Fault = Vod_fault
 (** The fault-injection and self-healing subsystem: declarative fault
-    plans ([Fault.Plan]), scenario files ([Fault.Scenario]), the
-    bandwidth-aware maintenance controller ([Fault.Mend]) and the
-    deterministic chaos runner ([Fault.Chaos]). *)
+    plans ([Fault.Plan]), scenario files ([Fault.Scenario]), helper
+    fleets ([Fault.Helpers]), the bandwidth-aware maintenance
+    controller ([Fault.Mend]) and the deterministic chaos runner
+    ([Fault.Chaos]). *)
+
+module Battery = Vod_battery
+(** The scenario battery: (engine config × scenario) matrices run
+    through the chaos runner into a deterministic ranked KPI scorecard
+    ([Battery.Battery], [Battery.Kpi]) — the CI-checkable artefact of
+    [vodctl battery]. *)
 
 module Obs = Vod_obs
 (** The observability subsystem: metrics registry ([Obs.Registry]),

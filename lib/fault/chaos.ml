@@ -1,5 +1,6 @@
 open Vod_util
 open Vod_model
+open Vod_analysis
 module Engine = Vod_sim.Engine
 module Registry = Vod_obs.Registry
 
@@ -7,6 +8,62 @@ let obs_crashes = Registry.counter Registry.default "fault.crashes"
 let obs_rejoins = Registry.counter Registry.default "fault.rejoins"
 let obs_degradations = Registry.counter Registry.default "fault.degradations"
 let obs_flash_demands = Registry.counter Registry.default "fault.flash_demands"
+
+type alloc_scheme = Permutation | Round_robin
+
+type engine_config = {
+  label : string;
+  matching : Engine.matching_engine;
+  scheduler : Engine.scheduler;
+  scheme : alloc_scheme;
+}
+
+let default_config =
+  { label = "scratch"; matching = Engine.Scratch; scheduler = Engine.Arbitrary; scheme = Permutation }
+
+let config_of_name = function
+  | "scratch" -> Ok default_config
+  | "incremental" ->
+      Ok
+        {
+          label = "incremental";
+          matching = Engine.Incremental;
+          scheduler = Engine.Arbitrary;
+          scheme = Permutation;
+        }
+  | "sticky" ->
+      Ok
+        {
+          label = "sticky";
+          matching = Engine.Scratch;
+          scheduler = Engine.Sticky;
+          scheme = Permutation;
+        }
+  | "prefer-cache" ->
+      Ok
+        {
+          label = "prefer-cache";
+          matching = Engine.Scratch;
+          scheduler = Engine.Prefer_cache;
+          scheme = Permutation;
+        }
+  | "balance-load" ->
+      Ok
+        {
+          label = "balance-load";
+          matching = Engine.Scratch;
+          scheduler = Engine.Balance_load;
+          scheme = Permutation;
+        }
+  | "round-robin" ->
+      Ok
+        {
+          label = "round-robin";
+          matching = Engine.Scratch;
+          scheduler = Engine.Arbitrary;
+          scheme = Round_robin;
+        }
+  | name -> Error (Printf.sprintf "unknown engine config '%s'" name)
 
 type outcome = {
   scenario : Scenario.t;
@@ -20,6 +77,7 @@ type outcome = {
   min_online : int;
   total_unserved : int;
   total_faulted : int;
+  startup_delays : int array;
   jsonl : string;
 }
 
@@ -38,20 +96,32 @@ let json_escape s =
   Buffer.contents b
 
 (* Static validation shared by [run] and [run_many], so worker domains
-   never have to report errors. *)
-let validate (s : Scenario.t) =
-  let fleet = Box.Fleet.homogeneous ~n:s.n ~u:s.u ~d:s.d in
-  let m =
-    match s.m with Some m -> m | None -> Vod_alloc.Schemes.max_catalog ~fleet ~c:s.c ~k:s.k
+   never have to report errors.  The catalog is sized against the
+   {e base} fleet only: helper storage is pure surplus, so a scenario's
+   catalog does not silently grow when a fleet is added. *)
+let prepare (s : Scenario.t) =
+  let base =
+    match s.population with
+    | Scenario.Homogeneous -> Box.Fleet.homogeneous ~n:s.n ~u:s.u ~d:s.d
+    | Scenario.Rich_poor { rich_fraction; u_rich; u_poor; _ } ->
+        Box.Fleet.two_class ~n:s.n ~rich_fraction ~u_rich ~u_poor ~d:s.d
   in
-  let slots = Array.fold_left (fun acc b -> acc + Box.storage_slots ~c:s.c b) 0 fleet in
+  let m =
+    match s.m with Some m -> m | None -> Vod_alloc.Schemes.max_catalog ~fleet:base ~c:s.c ~k:s.k
+  in
+  let slots = Array.fold_left (fun acc b -> acc + Box.storage_slots ~c:s.c b) 0 base in
   if s.k * m * s.c > slots then
     Error
       (Printf.sprintf "catalog does not fit: k*m*c = %d replicas > %d storage slots"
          (s.k * m * s.c) slots)
   else
-    let topology = Option.map (fun groups -> Topology.uniform_groups ~n:s.n ~groups) s.groups in
-    match Plan.compile ?topology ~seed:s.seed ~n:s.n s.events with
+    let fleet = Helpers.extend_fleet base s.helpers in
+    let n_total = Array.length fleet in
+    let helpers = Helpers.ranges ~base_n:s.n s.helpers in
+    let topology =
+      Option.map (fun groups -> Topology.uniform_groups ~n:n_total ~groups) s.groups
+    in
+    match Plan.compile ?topology ~helpers ~seed:s.seed ~n:n_total s.events with
     | Error _ as err -> err
     | Ok _ ->
         let bad_flash =
@@ -62,28 +132,59 @@ let validate (s : Scenario.t) =
         (match bad_flash with
         | Some (round, Plan.Flash_crowd (v, _)) ->
             Error (Printf.sprintf "round %d: flash-crowd video %d outside catalog [0, %d)" round v m)
-        | _ -> Ok (fleet, m, topology))
+        | _ -> Ok (base, fleet, m, topology, helpers))
 
-let run ?rounds ?seed (s : Scenario.t) =
-  match validate s with
+let validate s = Result.map (fun _ -> ()) (prepare s)
+
+let run ?rounds ?seed ?(config = default_config) (s : Scenario.t) =
+  match prepare s with
   | Error _ as err -> err
-  | Ok (fleet, m, topology) ->
+  | Ok (base, fleet, m, topology, helper_ranges) ->
+      let n_total = Array.length fleet in
       let rounds = Option.value rounds ~default:s.rounds in
       let seed = Option.value seed ~default:s.seed in
-      let params = Params.make ~n:s.n ~c:s.c ~mu:s.mu ~duration:s.duration in
+      let params = Params.make ~n:n_total ~c:s.c ~mu:s.mu ~duration:s.duration in
       let catalog = Catalog.create ~m ~c:s.c in
       let alloc_rng = Prng.create ~seed () in
-      let alloc = Vod_alloc.Schemes.random_permutation alloc_rng ~fleet ~catalog ~k:s.k in
+      (* allocation over the base fleet, then deterministic helper
+         seeding on top — the base replica lists are untouched *)
+      let base_alloc =
+        match config.scheme with
+        | Permutation -> Vod_alloc.Schemes.random_permutation alloc_rng ~fleet:base ~catalog ~k:s.k
+        | Round_robin -> Vod_alloc.Schemes.round_robin ~fleet:base ~catalog ~k:s.k
+      in
+      let alloc =
+        if s.helpers = [] then base_alloc else Helpers.seed_allocation ~fleet ~c:s.c base_alloc
+      in
+      (* Theorem 2 relays are assigned over the base fleet only (helpers
+         may be offline); when the population is not compensable the run
+         proceeds uncompensated — the paper's negative-result regime. *)
+      let compensation =
+        match s.population with
+        | Scenario.Homogeneous -> None
+        | Scenario.Rich_poor { u_star; _ } ->
+            Option.map (Helpers.extend_compensation ~n:n_total) (Theorem2.compensate base ~u_star)
+      in
       (* the plan hashes its own seed; workload, controller and crowd
          draws get independent streams derived from the run seed *)
       let plan =
-        match Plan.compile ?topology ~seed ~n:s.n s.events with
+        match
+          Plan.compile ?topology ~helpers:helper_ranges ~seed ~n:n_total s.events
+        with
         | Ok p -> p
         | Error msg -> invalid_arg msg (* unreachable: validated above *)
       in
       let engine =
-        Engine.create ~params ~fleet ~alloc ~policy:Engine.Continue ?topology ()
+        Engine.create ~params ~fleet ~alloc ?compensation ~policy:Engine.Continue
+          ~scheduler:config.scheduler ~matching:config.matching ?topology ()
       in
+      Array.iter
+        (fun (start, count) ->
+          for b = start to start + count - 1 do
+            Engine.set_helper engine b true;
+            Engine.set_online engine b false
+          done)
+        helper_ranges;
       let mend = Mend.create ~seed:(seed + 101) (Mend.of_scenario s) in
       let workload =
         if s.rate > 0.0 then
@@ -97,11 +198,12 @@ let run ?rounds ?seed (s : Scenario.t) =
       let buf = Buffer.create (rounds * 96) in
       let line fmt = Printf.ksprintf (fun str -> Buffer.add_string buf (str ^ "\n")) fmt in
       line
-        {|{"type":"meta","version":"vod-chaos/1","scenario":"%s","seed":%d,"rounds":%d,"n":%d,"m":%d,"c":%d,"k":%d,"target_k":%d,"budget":%d,"transfer_rounds":%d}|}
-        (json_escape s.name) seed rounds s.n m s.c s.k s.target_k s.budget s.transfer_rounds;
+        {|{"type":"meta","version":"vod-chaos/1","scenario":"%s","config":"%s","seed":%d,"rounds":%d,"n":%d,"m":%d,"c":%d,"k":%d,"target_k":%d,"budget":%d,"transfer_rounds":%d}|}
+        (json_escape s.name) (json_escape config.label) seed rounds n_total m s.c s.k s.target_k
+        s.budget s.transfer_rounds;
       let reports = ref [] in
       let full_replication_round = ref (-1) in
-      let min_online = ref s.n in
+      let min_online = ref n_total in
       let total_unserved = ref 0 and total_faulted = ref 0 in
       let apply_event time = function
         | Plan.Crash b ->
@@ -128,7 +230,8 @@ let run ?rounds ?seed (s : Scenario.t) =
               Registry.incr obs_flash_demands
             done;
             ignore time
-        | Plan.Group_crash _ | Plan.Group_rejoin _ ->
+        | Plan.Group_crash _ | Plan.Group_rejoin _ | Plan.Group_degrade _ | Plan.Group_restore _
+        | Plan.Helper_join _ | Plan.Helper_leave _ ->
             (* Plan.compile expanded these *)
             assert false
       in
@@ -145,7 +248,7 @@ let run ?rounds ?seed (s : Scenario.t) =
         let installs = Mend.collect mend engine in
         let repairable, unrepairable = Mend.pending mend engine in
         reports := report :: !reports;
-        let online = s.n - report.Engine.offline_boxes in
+        let online = n_total - report.Engine.offline_boxes in
         if online < !min_online then min_online := online;
         total_unserved := !total_unserved + report.Engine.unserved;
         total_faulted := !total_faulted + report.Engine.faulted;
@@ -193,19 +296,20 @@ let run ?rounds ?seed (s : Scenario.t) =
           min_online = !min_online;
           total_unserved = !total_unserved;
           total_faulted = !total_faulted;
+          startup_delays = Engine.startup_delays engine;
           jsonl = Buffer.contents buf;
         }
 
-let run_many ?rounds ?jobs ~replications (s : Scenario.t) =
+let run_many ?rounds ?jobs ?config ~replications (s : Scenario.t) =
   if replications < 1 then Error "replications must be >= 1"
   else
     match validate s with
     | Error _ as err -> err
-    | Ok _ ->
+    | Ok () ->
         let outcomes =
           Vod_par.Par.map ?jobs
             ~f:(fun rep ->
-              match run ?rounds ~seed:(s.seed + (1000 * rep)) s with
+              match run ?rounds ~seed:(s.seed + (1000 * rep)) ?config s with
               | Ok o -> o
               | Error msg -> failwith msg (* unreachable: validated above *))
             replications

@@ -11,6 +11,24 @@
     replication order — so two runs of the same scenario, at any
     [--jobs] value, are byte-identical. *)
 
+type alloc_scheme = Permutation | Round_robin
+
+type engine_config = {
+  label : string;  (** Appears as ["config"] in the meta line and the scorecard. *)
+  matching : Vod_sim.Engine.matching_engine;
+  scheduler : Vod_sim.Engine.scheduler;
+  scheme : alloc_scheme;  (** Static allocation scheme for the base fleet. *)
+}
+(** One engine/allocation column of a battery matrix. *)
+
+val default_config : engine_config
+(** ["scratch"]: scratch max-flow, arbitrary scheduler, random
+    permutation allocation — the engine's defaults. *)
+
+val config_of_name : string -> (engine_config, string) result
+(** Named configs: [scratch], [incremental], [sticky], [prefer-cache],
+    [balance-load], [round-robin]. *)
+
 type outcome = {
   scenario : Scenario.t;
   seed : int;  (** The seed this replication actually ran with. *)
@@ -26,20 +44,40 @@ type outcome = {
   time_to_full_replication : int;
       (** Rounds from the last disruptive event to full replication;
           -1 if never reached. *)
-  min_online : int;  (** Fewest online boxes over the run. *)
+  min_online : int;  (** Fewest online boxes over the run (helpers included). *)
   total_unserved : int;
   total_faulted : int;
+  startup_delays : int array;
+      (** Realised start-up delays of every admitted demand, in rounds
+          ({!Vod_sim.Engine.startup_delays}) — the scorecard's
+          startup-latency sample. *)
   jsonl : string;  (** One meta line, one line per round, one verdict. *)
 }
 
-val run : ?rounds:int -> ?seed:int -> Scenario.t -> (outcome, string) result
-(** Run one replication ([rounds]/[seed] override the scenario's).
-    [Error] on an invalid scenario: plan compilation failure,
-    flash-crowd video outside the catalog, or replicas that do not fit
-    the fleet's storage. *)
+val validate : Scenario.t -> (unit, string) result
+(** Static validation without running: plan compilation (including
+    helper ranges and topology), catalog fit against the {e base}
+    fleet, flash-crowd videos inside the catalog. *)
+
+val run :
+  ?rounds:int -> ?seed:int -> ?config:engine_config -> Scenario.t -> (outcome, string) result
+(** Run one replication ([rounds]/[seed] override the scenario's;
+    [config] defaults to {!default_config}).  The scenario's helper
+    fleets are appended after the [n] base boxes, seeded with replicas
+    and set offline as helpers before round 1; a rich/poor population
+    builds the Theorem 2 two-class base fleet and compensates it at
+    [u_star] when feasible (uncompensated otherwise).  [Error] on an
+    invalid scenario: plan compilation failure, flash-crowd video
+    outside the catalog, or replicas that do not fit the base fleet's
+    storage. *)
 
 val run_many :
-  ?rounds:int -> ?jobs:int -> replications:int -> Scenario.t -> (outcome list, string) result
+  ?rounds:int ->
+  ?jobs:int ->
+  ?config:engine_config ->
+  replications:int ->
+  Scenario.t ->
+  (outcome list, string) result
 (** [replications] independent runs (replication [i] uses seed
     [scenario.seed + 1000 * i]) fanned out over [jobs] workers with
     {!Vod_par.Par.map}; outcomes are in replication order regardless of

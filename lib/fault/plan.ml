@@ -9,6 +9,10 @@ type event =
   | Restore of int
   | Flaky of float
   | Flash_crowd of int * int
+  | Helper_join of int
+  | Helper_leave of int
+  | Group_degrade of int * float
+  | Group_restore of int
 
 type spec = (int * event) list
 
@@ -20,9 +24,16 @@ type t = {
   last_disruption : int;
 }
 
-let validate ~topology ~n (round, ev) =
+let validate ~topology ~helpers ~n (round, ev) =
   let box_ok b = b >= 0 && b < n in
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let group_ok g k =
+    match topology with
+    | None -> err "round %d: group event without a topology" round
+    | Some topo ->
+        if g >= 0 && g < Topology.groups topo then k ()
+        else err "round %d: group %d out of range [0, %d)" round g (Topology.groups topo)
+  in
   if round < 1 then err "round %d: events start at round 1" round
   else
     match ev with
@@ -33,12 +44,23 @@ let validate ~topology ~n (round, ev) =
         else if not (f >= 0.0 && f <= 1.0) then
           err "round %d: degrade factor %g outside [0, 1]" round f
         else Ok ()
-    | Group_crash g | Group_rejoin g -> (
-        match topology with
-        | None -> err "round %d: group event without a topology" round
-        | Some topo ->
-            if g >= 0 && g < Topology.groups topo then Ok ()
-            else err "round %d: group %d out of range [0, %d)" round g (Topology.groups topo))
+    | Group_crash g | Group_rejoin g -> group_ok g (fun () -> Ok ())
+    | Group_degrade (g, f) ->
+        group_ok g (fun () ->
+            if f >= 0.0 && f <= 1.0 then Ok ()
+            else err "round %d: degrade factor %g outside [0, 1]" round f)
+    | Group_restore g -> group_ok g (fun () -> Ok ())
+    | Helper_join h | Helper_leave h ->
+        let fleets = Array.length helpers in
+        if fleets = 0 then err "round %d: helper event without helper fleets" round
+        else if h < 0 || h >= fleets then
+          err "round %d: helper fleet %d out of range [0, %d)" round h fleets
+        else
+          let start, count = helpers.(h) in
+          if start < 0 || count < 1 || start + count > n then
+            err "round %d: helper fleet %d spans boxes [%d, %d) outside the fleet of %d" round h
+              start (start + count) n
+          else Ok ()
     | Flaky p ->
         if p >= 0.0 && p <= 1.0 then Ok ()
         else err "round %d: fault probability %g outside [0, 1]" round p
@@ -47,31 +69,40 @@ let validate ~topology ~n (round, ev) =
         else if viewers < 1 then err "round %d: flash-crowd needs >= 1 viewer, got %d" round viewers
         else Ok ()
 
-(* Group events expand to per-box events in ascending box order
-   ([Topology.group_members] is ascending by construction), keeping the
-   compiled stream independent of hash-table iteration. *)
-let expand ~topology ev =
+(* Group and helper events expand to per-box events in ascending box
+   order ([Topology.group_members] is ascending by construction, helper
+   ranges are contiguous), keeping the compiled stream independent of
+   hash-table iteration. *)
+let expand ~topology ~helpers ev =
+  let members g = Topology.group_members (Option.get topology) g in
+  let fleet h =
+    let start, count = helpers.(h) in
+    List.init count (fun i -> start + i)
+  in
   match ev with
-  | Group_crash g ->
-      let topo = Option.get topology in
-      List.map (fun b -> Crash b) (Topology.group_members topo g)
-  | Group_rejoin g ->
-      let topo = Option.get topology in
-      List.map (fun b -> Rejoin b) (Topology.group_members topo g)
+  | Group_crash g -> List.map (fun b -> Crash b) (members g)
+  | Group_rejoin g -> List.map (fun b -> Rejoin b) (members g)
+  | Group_degrade (g, f) -> List.map (fun b -> Degrade (b, f)) (members g)
+  | Group_restore g -> List.map (fun b -> Restore b) (members g)
+  | Helper_join h -> List.map (fun b -> Rejoin b) (fleet h)
+  | Helper_leave h -> List.map (fun b -> Crash b) (fleet h)
   | _ -> [ ev ]
 
 let disruptive = function
-  | Crash _ | Group_crash _ | Degrade _ -> true
+  | Crash _ | Group_crash _ | Degrade _ | Group_degrade _ | Helper_leave _ -> true
   | Flaky p -> p > 0.0
-  | Rejoin _ | Group_rejoin _ | Restore _ | Flash_crowd _ -> false
+  | Rejoin _ | Group_rejoin _ | Restore _ | Group_restore _ | Helper_join _ | Flash_crowd _ ->
+      false
 
-let compile ?topology ~seed ~n spec =
+let compile ?topology ?(helpers = [||]) ~seed ~n spec =
   if n < 1 then Error "n must be >= 1"
   else
     let rec check = function
       | [] -> Ok ()
       | e :: rest -> (
-          match validate ~topology ~n e with Ok () -> check rest | Error _ as err -> err)
+          match validate ~topology ~helpers ~n e with
+          | Ok () -> check rest
+          | Error _ as err -> err)
     in
     match check spec with
     | Error _ as err -> err
@@ -83,7 +114,7 @@ let compile ?topology ~seed ~n spec =
             if round > !horizon then horizon := round;
             if disruptive ev && round > !last_disruption then last_disruption := round;
             let existing = try Hashtbl.find by_round round with Not_found -> [] in
-            Hashtbl.replace by_round round (existing @ expand ~topology ev))
+            Hashtbl.replace by_round round (existing @ expand ~topology ~helpers ev))
           spec;
         Ok { seed; n; by_round; horizon = !horizon; last_disruption = !last_disruption }
 

@@ -28,23 +28,43 @@ type event =
   | Flash_crowd of int * int
       (** [Flash_crowd (video, viewers)]: that many extra idle boxes
           demand [video] at once. *)
+  | Helper_join of int
+      (** [Helper_join h]: helper fleet [h] plugs in — every box of the
+          fleet rejoins with its seeded replicas intact, contributing
+          spare upload but never demanding. *)
+  | Helper_leave of int  (** The whole helper fleet unplugs (crashes). *)
+  | Group_degrade of int * float
+      (** ISP bottleneck: every box of the topology group has its upload
+          multiplied by the factor (correlated congestion). *)
+  | Group_restore of int  (** The whole group's upload back to nominal. *)
 
 type spec = (int * event) list
 (** [(round, event)] pairs; rounds need not be sorted or distinct. *)
 
 type t
 
-val compile : ?topology:Topology.t -> seed:int -> n:int -> spec -> (t, string) result
+val compile :
+  ?topology:Topology.t ->
+  ?helpers:(int * int) array ->
+  seed:int ->
+  n:int ->
+  spec ->
+  (t, string) result
 (** Validate a spec against a fleet of [n] boxes and expand it into a
-    per-round stream.  [Group_crash]/[Group_rejoin] require a
-    [topology] and are expanded into per-box [Crash]/[Rejoin] events in
-    ascending box order.  [Error] names the first offending event:
-    out-of-range box, group or video id, factor or probability outside
-    [0, 1], non-positive viewer count, or round < 1. *)
+    per-round stream.  [Group_crash]/[Group_rejoin]/[Group_degrade]/
+    [Group_restore] require a [topology] and are expanded into per-box
+    [Crash]/[Rejoin]/[Degrade]/[Restore] events in ascending box order.
+    [Helper_join]/[Helper_leave] require [helpers] — per-fleet
+    [(first_box, count)] ranges within the fleet of [n] — and expand
+    likewise to per-box [Rejoin]/[Crash].  [Error] names the first
+    offending event: out-of-range box, group, fleet or video id, factor
+    or probability outside [0, 1], non-positive viewer count, or
+    round < 1. *)
 
 val events_at : t -> int -> event list
-(** The events scheduled for the round, in spec order (group events
-    expanded in place).  Never contains [Group_crash]/[Group_rejoin]. *)
+(** The events scheduled for the round, in spec order (group and helper
+    events expanded in place).  Never contains the group or helper
+    constructors themselves. *)
 
 val horizon : t -> int
 (** The last round with a scheduled event (0 for an empty plan). *)

@@ -1,3 +1,24 @@
+type population =
+  | Homogeneous
+  | Rich_poor of { rich_fraction : float; u_rich : float; u_poor : float; u_star : float }
+
+type kpi = {
+  max_rejection : float option;
+  max_startup_p95 : float option;
+  max_time_to_repair : int option;
+  max_sourcing_share : float option;
+  require_recovery : bool;
+}
+
+let no_budget =
+  {
+    max_rejection = None;
+    max_startup_p95 = None;
+    max_time_to_repair = None;
+    max_sourcing_share = None;
+    require_recovery = false;
+  }
+
 type t = {
   name : string;
   n : int;
@@ -17,6 +38,9 @@ type t = {
   transfer_rounds : int;
   backoff_base : int;
   backoff_cap : int;
+  helpers : Helpers.fleet_spec list;
+  population : population;
+  kpi : kpi;
   events : Plan.spec;
 }
 
@@ -40,6 +64,9 @@ let default =
     transfer_rounds = 5;
     backoff_base = 2;
     backoff_cap = 32;
+    helpers = [];
+    population = Homogeneous;
+    kpi = no_budget;
     events = [];
   }
 
@@ -86,6 +113,14 @@ let parse_event ~round ~verb ~args =
       | Some v, Some w -> Ok [ (round, Plan.Flash_crowd (v, w)) ]
       | _ -> Error "'flash' takes <video> <viewers>")
   | "flash", _ -> Error "'flash' takes <video> <viewers>"
+  | ("helper-join" | "helper_join"), _ -> boxes (fun h -> Plan.Helper_join h)
+  | ("helper-leave" | "helper_leave"), _ -> boxes (fun h -> Plan.Helper_leave h)
+  | ("group-degrade" | "group_degrade"), [ g; f ] -> (
+      match (int_of g, float_of f) with
+      | Some g, Some f -> Ok [ (round, Plan.Group_degrade (g, f)) ]
+      | _ -> Error "'group-degrade' takes <group> <factor>")
+  | ("group-degrade" | "group_degrade"), _ -> Error "'group-degrade' takes <group> <factor>"
+  | ("group-restore" | "group_restore"), _ -> boxes (fun g -> Plan.Group_restore g)
   | _ -> Error (Printf.sprintf "unknown event '%s'" verb)
 
 let parse_line t line =
@@ -98,6 +133,47 @@ let parse_line t line =
           match parse_event ~round ~verb ~args with
           | Ok evs -> Ok { t with events = t.events @ evs }
           | Error _ as err -> err))
+  | "helpers" :: args -> (
+      match args with
+      | [ count; u; d ] -> (
+          match (int_of count, float_of u, float_of d) with
+          | Some count, Some u, Some d ->
+              Ok { t with helpers = t.helpers @ [ { Helpers.count; u; d } ] }
+          | _ -> Error "'helpers' takes <count> <upload> <storage>")
+      | _ -> Error "'helpers' takes <count> <upload> <storage>")
+  | "population" :: args -> (
+      match args with
+      | [ "homogeneous" ] -> Ok { t with population = Homogeneous }
+      | [ "rich-poor"; frac; ur; up; ustar ] -> (
+          match (float_of frac, float_of ur, float_of up, float_of ustar) with
+          | Some rich_fraction, Some u_rich, Some u_poor, Some u_star ->
+              Ok { t with population = Rich_poor { rich_fraction; u_rich; u_poor; u_star } }
+          | _ -> Error "'population rich-poor' takes <fraction> <u_rich> <u_poor> <u_star>")
+      | _ ->
+          Error
+            "'population' takes 'homogeneous' or 'rich-poor <fraction> <u_rich> <u_poor> \
+             <u_star>'")
+  | "kpi" :: args -> (
+      let float_kpi v set =
+        match float_of v with
+        | Some x -> Ok { t with kpi = set t.kpi x }
+        | None -> Error "'kpi' budgets take a number"
+      in
+      match args with
+      | [ "max-rejection"; v ] -> float_kpi v (fun k x -> { k with max_rejection = Some x })
+      | [ "max-startup-p95"; v ] -> float_kpi v (fun k x -> { k with max_startup_p95 = Some x })
+      | [ "max-time-to-repair"; v ] -> (
+          match int_of v with
+          | Some x -> Ok { t with kpi = { t.kpi with max_time_to_repair = Some x } }
+          | None -> Error "'kpi max-time-to-repair' takes an integer")
+      | [ "max-sourcing-share"; v ] ->
+          float_kpi v (fun k x -> { k with max_sourcing_share = Some x })
+      | [ "require-recovery"; v ] -> (
+          match bool_of_string_opt v with
+          | Some x -> Ok { t with kpi = { t.kpi with require_recovery = x } }
+          | None -> Error "'kpi require-recovery' takes true or false")
+      | name :: _ -> Error (Printf.sprintf "unknown KPI '%s'" name)
+      | [] -> Error "'kpi' takes <name> <value>")
   | [ key; v ] -> (
       let int_field set = match int_of v with Some x -> Ok (set x) | None -> Error ("'" ^ key ^ "' takes an integer") in
       let float_field set =
@@ -145,12 +221,44 @@ let check t =
   else if t.transfer_rounds < 1 then err "transfer_rounds must be >= 1"
   else if t.backoff_base < 1 then err "backoff base must be >= 1"
   else if t.backoff_cap < t.backoff_base then err "backoff cap must be >= base"
-  else Ok t
+  else
+    match
+      List.find_opt (fun f -> f.Helpers.count < 1 || f.Helpers.u < 0.0 || f.Helpers.d < 0.0) t.helpers
+    with
+    | Some f ->
+        err "helper fleet '%d %g %g' needs count >= 1 and non-negative capacities"
+          f.Helpers.count f.Helpers.u f.Helpers.d
+    | None -> (
+        let kpi_bad =
+          match t.kpi with
+          | { max_rejection = Some v; _ } when v < 0.0 -> Some "max-rejection"
+          | { max_startup_p95 = Some v; _ } when v < 0.0 -> Some "max-startup-p95"
+          | { max_time_to_repair = Some v; _ } when v < 0 -> Some "max-time-to-repair"
+          | { max_sourcing_share = Some v; _ } when v < 0.0 -> Some "max-sourcing-share"
+          | _ -> None
+        in
+        match kpi_bad with
+        | Some name -> err "kpi %s must be >= 0" name
+        | None -> (
+            match t.population with
+            | Homogeneous -> Ok t
+            | Rich_poor { rich_fraction; u_rich; u_poor; u_star } ->
+                if rich_fraction < 0.0 || rich_fraction > 1.0 then
+                  err "population rich-poor fraction must be in [0, 1]"
+                else if u_rich < 0.0 || u_poor < 0.0 || u_star < 0.0 then
+                  err "population rich-poor capacities must be >= 0"
+                else Ok t))
 
+(* Final whole-scenario validation errors carry the scenario (file)
+   name just like line errors do, so a failing [load] always says which
+   file is at fault. *)
 let parse ~name text =
   let lines = String.split_on_char '\n' text in
   let rec go t lineno = function
-    | [] -> check t
+    | [] -> (
+        match check t with
+        | Ok _ as ok -> ok
+        | Error msg -> Error (Printf.sprintf "%s: %s" name msg))
     | line :: rest -> (
         match parse_line t line with
         | Ok t -> go t (lineno + 1) rest
@@ -174,6 +282,10 @@ let event_line (round, ev) =
   | Plan.Restore b -> p "at %d restore %d" round b
   | Plan.Flaky prob -> p "at %d flaky %g" round prob
   | Plan.Flash_crowd (v, w) -> p "at %d flash %d %d" round v w
+  | Plan.Helper_join h -> p "at %d helper-join %d" round h
+  | Plan.Helper_leave h -> p "at %d helper-leave %d" round h
+  | Plan.Group_degrade (g, f) -> p "at %d group-degrade %d %g" round g f
+  | Plan.Group_restore g -> p "at %d group-restore %d" round g
 
 let to_text t =
   let b = Buffer.create 256 in
@@ -195,5 +307,17 @@ let to_text t =
   line "budget %d" t.budget;
   line "transfer_rounds %d" t.transfer_rounds;
   line "backoff %d %d" t.backoff_base t.backoff_cap;
+  List.iter (fun f -> line "helpers %d %g %g" f.Helpers.count f.Helpers.u f.Helpers.d) t.helpers;
+  (match t.population with
+  | Homogeneous -> ()
+  | Rich_poor { rich_fraction; u_rich; u_poor; u_star } ->
+      line "population rich-poor %g %g %g %g" rich_fraction u_rich u_poor u_star);
+  (match t.kpi.max_rejection with Some v -> line "kpi max-rejection %g" v | None -> ());
+  (match t.kpi.max_startup_p95 with Some v -> line "kpi max-startup-p95 %g" v | None -> ());
+  (match t.kpi.max_time_to_repair with
+  | Some v -> line "kpi max-time-to-repair %d" v
+  | None -> ());
+  (match t.kpi.max_sourcing_share with Some v -> line "kpi max-sourcing-share %g" v | None -> ());
+  if t.kpi.require_recovery then line "kpi require-recovery true";
   List.iter (fun ev -> line "%s" (event_line ev)) t.events;
   Buffer.contents b

@@ -25,7 +25,42 @@
     at 30 flaky 0.05          # 5% transient connection failures
     at 35 flaky 0             # ... back off
     at 100 flash 0 20         # 20 extra viewers rush video 0
+    # helper fleets, heterogeneous populations, ISP bottlenecks
+    helpers 8 2.0 0.5         # fleet 0: 8 spare-upload boxes (u=2, d=0.5)
+    population rich-poor 0.25 4.0 0.5 2.0   # fraction, u_rich, u_poor, u_star
+    at 20 helper-join 0       # fleet 0 plugs in ...
+    at 60 helper-leave 0      # ... and unplugs
+    at 40 group-degrade 1 0.5 # ISP bottleneck: group 1 at half upload
+    at 80 group-restore 1
+    # KPI budgets checked by the scenario battery
+    kpi max-rejection 0.05    kpi max-startup-p95 6
+    kpi max-time-to-repair 40 kpi max-sourcing-share 0.5
+    kpi require-recovery true
     v} *)
+
+type population =
+  | Homogeneous  (** Every box has the scenario's [u] and [d]. *)
+  | Rich_poor of { rich_fraction : float; u_rich : float; u_poor : float; u_star : float }
+      (** Theorem 2's two-class fleet ({!Vod_model.Box.Fleet.two_class},
+          storage stays [d]): the first [ceil (rich_fraction * n)] boxes
+          upload [u_rich], the rest [u_poor], with relays compensated at
+          the [u_star] balance point when feasible. *)
+
+type kpi = {
+  max_rejection : float option;  (** Budget on the demand rejection rate in [0, 1]. *)
+  max_startup_p95 : float option;  (** Budget on the startup-latency 95th percentile, in rounds. *)
+  max_time_to_repair : int option;
+      (** Budget on rounds from the last disruption to full replication. *)
+  max_sourcing_share : float option;
+      (** Budget on the share of served connections sourcing from static
+          replicas rather than swarming from playback caches — the
+          server-load proxy of the scorecard. *)
+  require_recovery : bool;  (** Whether the cell must end fully repaired. *)
+}
+(** Per-scenario KPI budgets ([kpi <name> <value>] directives); [None]
+    leaves the KPI unchecked. *)
+
+val no_budget : kpi
 
 type t = {
   name : string;
@@ -46,16 +81,25 @@ type t = {
   transfer_rounds : int;
   backoff_base : int;
   backoff_cap : int;
+  helpers : Helpers.fleet_spec list;
+      (** Helper fleets ([helpers <count> <u> <d>], one per line, in
+          file order); their boxes are appended after the [n] base boxes
+          and start offline until a [helper-join] event. *)
+  population : population;
+  kpi : kpi;
   events : Plan.spec;  (** In file order. *)
 }
 
 val default : t
 (** [n 64, u 2.0, d 4.0, c 4, k 4, m None, mu 1.2, duration 30,
     rounds 100, seed 42, rate 2.0, groups None, target_k 3, budget 4,
-    transfer_rounds 5, backoff 2 32], no events, named ["default"]. *)
+    transfer_rounds 5, backoff 2 32], homogeneous, no helpers, no KPI
+    budgets, no events, named ["default"]. *)
 
 val parse : name:string -> string -> (t, string) result
-(** Parse scenario text; errors carry the line number. *)
+(** Parse scenario text.  Line errors are ["<name>:<line>: <msg>"] and
+    whole-scenario validation errors ["<name>: <msg>"], so every failure
+    names the offending file. *)
 
 val load : path:string -> (t, string) result
 (** Read and {!parse} a file; the scenario is named by its basename. *)

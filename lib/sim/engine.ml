@@ -66,6 +66,7 @@ type t = {
   scheduler : scheduler;
   topology : Topology.t option;
   online : bool array;
+  helper : bool array; (* spare-upload boxes that never take demands *)
   mutable last_loads : int array;
   cumulative_loads : int array; (* stripe-rounds served per box, ever *)
   capacity : int array; (* matching upload slots per box, net of reservations *)
@@ -133,6 +134,7 @@ let create ~params ~fleet ~alloc ?compensation ?(policy = Fail_fast)
     scheduler;
     topology;
     online = Array.make n true;
+    helper = Array.make n false;
     last_loads = Array.make n 0;
     cumulative_loads = Array.make n 0;
     capacity;
@@ -167,6 +169,14 @@ let fleet t = t.fleet
 let alloc t = t.alloc
 let now t = t.now
 let is_online t b = t.online.(b)
+
+let set_helper t b flag =
+  if b < 0 || b >= t.params.Params.n then invalid_arg "Engine.set_helper: box out of range";
+  t.helper.(b) <- flag
+
+let is_helper t b =
+  if b < 0 || b >= t.params.Params.n then invalid_arg "Engine.is_helper: box out of range";
+  t.helper.(b)
 let last_loads t = Array.copy t.last_loads
 let cumulative_loads t = Array.copy t.cumulative_loads
 let is_idle t b =
@@ -174,10 +184,12 @@ let is_idle t b =
   && t.busy_until.(b) <= t.now
   && not (Vec.exists (fun (pb, _) -> pb = b) t.pending)
 
+(* Helpers are excluded: they are upload-only boxes, so no generator
+   should ever draft them as viewers. *)
 let idle_boxes t =
   let acc = ref [] in
   for b = t.params.Params.n - 1 downto 0 do
-    if is_idle t b then acc := b :: !acc
+    if is_idle t b && not t.helper.(b) then acc := b :: !acc
   done;
   !acc
 
@@ -233,6 +245,7 @@ let demand t ~box ~video =
   let m = Catalog.videos (Allocation.catalog t.alloc) in
   if box < 0 || box >= t.params.Params.n then invalid_arg "Engine.demand: box out of range";
   if video < 0 || video >= m then invalid_arg "Engine.demand: video out of range";
+  if t.helper.(box) then invalid_arg "Engine.demand: box is a helper (takes no demands)";
   if not (is_idle t box) then invalid_arg "Engine.demand: box is busy";
   Vec.push t.pending (box, video)
 
@@ -766,7 +779,10 @@ let run t ~rounds ~demands_for =
   let reports = ref [] in
   for _ = 1 to rounds do
     let wanted = demands_for t (t.now + 1) in
-    List.iter (fun (box, video) -> if is_idle t box then demand t ~box ~video) wanted;
+    List.iter
+      (fun (box, video) ->
+        if is_idle t box && not t.helper.(box) then demand t ~box ~video)
+      wanted;
     reports := step t :: !reports
   done;
   List.rev !reports

@@ -179,6 +179,28 @@ val is_idle : t -> int -> bool
 (** True when the box has no video in progress and may accept a demand. *)
 
 val idle_boxes : t -> int list
+(** Idle online boxes that may be drafted as viewers.  Helper boxes
+    ({!set_helper}) are excluded — they are upload-only peers — so the
+    demand generators built on this list never target them. *)
+
+(** {2 Helper boxes (plug-and-play spare upload)}
+
+    A {e helper} is a box that contributes upload (and whatever replicas
+    the allocation seeds onto it) but never watches anything — the
+    plug-and-play helpers of peer-assisted VoD deployments.  Marking a
+    box as a helper only gates demand admission: {!demand} rejects it,
+    {!idle_boxes} skips it and {!run} drops generator demands on it
+    silently.  Everything else (matching capacity, churn via
+    {!set_online}, degradation, repairs towards it) treats a helper like
+    any other box, so a helper's departure is {e exactly} the crash of a
+    zero-demand box. *)
+
+val set_helper : t -> int -> bool -> unit
+(** Mark (or unmark) a box as a helper.
+    @raise Invalid_argument on out-of-range box. *)
+
+val is_helper : t -> int -> bool
+(** @raise Invalid_argument on out-of-range box. *)
 
 val swarm_size : t -> int -> int
 (** Boxes that entered the swarm of a video within the last [T] rounds. *)
@@ -281,8 +303,8 @@ val demand : t -> box:int -> video:int -> unit
     compensation follows the Theorem 2 request strategy; otherwise the
     box issues plain requests (as in the paper's negative-result
     scenario, where boxes below the threshold have no relays).
-    @raise Invalid_argument when the box is busy or the video is out of
-    range. *)
+    @raise Invalid_argument when the box is busy, a helper, or the video
+    is out of range. *)
 
 val step : t -> round_report
 (** Advance one round: activate scheduled requests, expire finished
@@ -318,6 +340,7 @@ val run :
   t -> rounds:int -> demands_for:(t -> int -> (int * int) list) -> round_report list
 (** [run t ~rounds ~demands_for] drives [rounds] steps; before each it
     feeds the demands returned by [demands_for t time] (pairs of
-    [box, video]; demands on busy {e and offline} boxes are skipped
-    silently so that stateless generators compose with churn plans).
+    [box, video]; demands on busy, offline {e and helper} boxes are
+    skipped silently so that stateless generators compose with churn
+    plans).
     Reports are in round order. *)
