@@ -9,13 +9,16 @@ test:
 	dune runtest
 
 # Short-budget differential fuzz pass (separate from `dune runtest`):
-# 200 random bipartite instances x 10 max-matching solvers (incl. the
-# warm-start incremental solver, cold and warm) plus 6 simulated
-# scenarios x 5 lockstep engines (3 schedulers + arbitrary/sticky on
-# the incremental matching engine), every engine failure round
-# certified by an independent Hall-violator check.  Fixed seed, so the
-# pass is deterministic and CI-friendly.  The verdict carries a
-# one-line obs summary of the solver counters (vod_obs).
+# 200 random bipartite instances x 13 max-matching solvers (incl. the
+# warm-start incremental solver, cold and warm, and the
+# component-sharded solver at three shard/jobs settings, whose merged
+# assignment must be bit-identical to Hopcroft-Karp's) plus 6
+# simulated scenarios x 7 lockstep engines (3 schedulers +
+# arbitrary/sticky on the incremental and sharded matching engines),
+# every engine failure round certified by an independent Hall-violator
+# check.  Fixed seed, so the pass is deterministic and CI-friendly.
+# The verdict carries a one-line obs summary of the solver counters
+# (vod_obs).
 check: build
 	dune build @fuzz
 
@@ -39,15 +42,21 @@ bench-quick:
 
 # Machine-readable perf trajectory: scratch / warm-start incremental /
 # bare CSR Hopcroft-Karp records (ns, matched and allocated bytes per
-# round) at n in {256, 1024, 4096, 16384}, written to
-# BENCH_matching.json at the repo root.
+# round) at n in {256, 1024, 4096, 16384}, plus the component-sharded
+# swarm points at n in {262144, 1000000} (delta-CSR rebuild + sharded
+# solve per round), written to BENCH_matching.json at the repo root.
+# The printed output also carries the catalog-scaling sweep (ns/round/n
+# across six orders of magnitude — Theorem 1's linear admission cost).
 bench-json:
 	dune exec bench/main.exe -- --quick --no-micro --json BENCH_matching.json
 
 # Diff the fresh records against the committed baseline; fails on a
 # ns_per_round regression beyond COMPARE_THRESHOLD percent (default
-# 25; CI passes a looser value for shared runners) or on any
-# matched_per_round drift, which no timing budget excuses.
+# 25; CI passes a looser value for shared runners), on any
+# matched_per_round drift, which no timing budget excuses, and on any
+# baseline point missing from the fresh run (a vanished point would
+# silently switch the gate off).  `--format json` emits the
+# vod-bench-diff/1 verdict document CI uploads as an artifact.
 COMPARE_THRESHOLD ?= 25
 bench-compare: bench-json
 	dune exec bench/compare.exe -- bench/BENCH_matching.baseline.json BENCH_matching.json --threshold $(COMPARE_THRESHOLD)

@@ -1,20 +1,33 @@
 (* compare — diff a freshly generated BENCH_matching.json against the
-   committed baseline and fail on ns_per_round regressions or
-   matched_per_round drift.
+   committed baseline and fail on ns_per_round regressions,
+   matched_per_round drift or missing points.
 
-     dune exec bench/compare.exe -- BASELINE CURRENT [--threshold PCT]
+     dune exec bench/compare.exe -- BASELINE CURRENT \
+       [--threshold PCT] [--format table|json]
 
-   Records are matched on (name, n).  A record regresses when its
-   ns_per_round exceeds the baseline's by more than the threshold
-   (default 25%).  When both sides carry matched_per_round, any
-   relative drift beyond 0.1% also fails: the instance sequences are
-   seeded, so the maximum-matching cardinality is deterministic — a
-   drift means a solver stopped finding the optimum, which no timing
-   threshold should excuse.  New records (no baseline entry) and
-   retired records are reported but never fail the run, so the gate
-   survives adding or renaming benchmarks.  Exit status: 0 clean,
-   1 regression, 2 bad input.  Wired as an advisory CI job (see
-   .github/workflows/ci.yml) and as `make bench-compare`. *)
+   Records are matched on (name, n); every row gets one status:
+
+     ok         within the threshold, no drift
+     new        present only in the current run (never fails: the gate
+                must survive adding benchmarks)
+     regressed  ns_per_round exceeds the baseline's by more than the
+                threshold (default 25%)
+     drift      matched_per_round moved by more than 0.1% relative —
+                the sequences are seeded, so cardinality is
+                deterministic and a drift means a solver stopped
+                finding the optimum, which no timing budget excuses
+     missing    present only in the baseline.  A hard failure: a
+                silently vanished point would otherwise turn the gate
+                off for that benchmark (rename both sides together)
+
+   [--format table] (default) prints the human table to stdout;
+   [--format json] prints a machine-readable vod-bench-diff/1 document
+   to stdout instead (CI uploads it as an artifact next to
+   BENCH_matching.json).  In both formats the offending rows are
+   repeated on stderr, so a failing CI log shows exactly which rows
+   sank the run rather than a bare nonzero exit.  Exit status: 0
+   clean, 1 regression/drift/missing, 2 bad input.  Wired as the CI
+   perf stage and as `make bench-compare`. *)
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON reader (objects, arrays, strings, numbers — the subset
@@ -203,9 +216,164 @@ let records_of_file path =
         items
   | _ -> raise (Parse (path ^ ": missing \"records\" array"))
 
+(* ------------------------------------------------------------------ *)
+(* The diff                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type status = Ok_row | New | Regressed | Drift | Missing
+
+let status_name = function
+  | Ok_row -> "ok"
+  | New -> "new"
+  | Regressed -> "regressed"
+  | Drift -> "drift"
+  | Missing -> "missing"
+
+let failing = function Regressed | Drift | Missing -> true | Ok_row | New -> false
+
+type row = {
+  r_name : string;
+  r_n : int;
+  status : status;
+  base_ns : float option;
+  cur_ns : float option;
+  delta_pct : float option;
+  base_matched : float option;
+  cur_matched : float option;
+}
+
+let diff ~threshold baseline current =
+  let of_current cur =
+    match List.find_opt (fun b -> b.name = cur.name && b.n = cur.n) baseline with
+    | None ->
+        {
+          r_name = cur.name;
+          r_n = cur.n;
+          status = New;
+          base_ns = None;
+          cur_ns = Some cur.ns_per_round;
+          delta_pct = None;
+          base_matched = None;
+          cur_matched = cur.matched_per_round;
+        }
+    | Some base ->
+        let delta = 100.0 *. ((cur.ns_per_round /. base.ns_per_round) -. 1.0) in
+        let drifted =
+          match (base.matched_per_round, cur.matched_per_round) with
+          | Some bm, Some cm -> abs_float (cm -. bm) > 0.001 *. Float.max 1.0 (abs_float bm)
+          | _ -> false
+        in
+        let status =
+          if drifted then Drift else if delta > threshold then Regressed else Ok_row
+        in
+        {
+          r_name = cur.name;
+          r_n = cur.n;
+          status;
+          base_ns = Some base.ns_per_round;
+          cur_ns = Some cur.ns_per_round;
+          delta_pct = Some delta;
+          base_matched = base.matched_per_round;
+          cur_matched = cur.matched_per_round;
+        }
+  in
+  let missing =
+    List.filter_map
+      (fun b ->
+        if List.exists (fun c -> c.name = b.name && c.n = b.n) current then None
+        else
+          Some
+            {
+              r_name = b.name;
+              r_n = b.n;
+              status = Missing;
+              base_ns = Some b.ns_per_round;
+              cur_ns = None;
+              delta_pct = None;
+              base_matched = b.matched_per_round;
+              cur_matched = None;
+            })
+      baseline
+  in
+  List.map of_current current @ missing
+
+let print_table ~threshold rows =
+  Printf.printf "%-36s %6s %14s %14s %9s\n" "benchmark" "n" "baseline ns/rd"
+    "current ns/rd" "status";
+  List.iter
+    (fun r ->
+      let num = function Some v -> Printf.sprintf "%.0f" v | None -> "-" in
+      let status =
+        match (r.status, r.delta_pct) with
+        | Ok_row, Some d -> Printf.sprintf "%+.1f%%" d
+        | s, _ -> String.uppercase_ascii (status_name s)
+      in
+      Printf.printf "%-36s %6d %14s %14s %9s\n" r.r_name r.r_n (num r.base_ns)
+        (num r.cur_ns) status)
+    rows;
+  if not (List.exists (fun r -> failing r.status) rows) then
+    Printf.printf
+      "verdict: no ns_per_round regression beyond %.0f%%, no matched_per_round drift, \
+       no missing point\n"
+      threshold
+
+(* vod-bench-diff/1: one self-describing document, every row present
+   with its status, nullable fields spelled null.  CI uploads it as an
+   artifact next to the raw BENCH_matching.json records. *)
+let print_json ~threshold rows =
+  let b = Buffer.create 2048 in
+  let opt = function Some v -> Printf.sprintf "%.3f" v | None -> "null" in
+  Buffer.add_string b "{\n  \"schema\": \"vod-bench-diff/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"threshold_pct\": %.1f,\n" threshold);
+  Buffer.add_string b
+    (Printf.sprintf "  \"verdict\": \"%s\",\n"
+       (if List.exists (fun r -> failing r.status) rows then "regression" else "clean"));
+  Buffer.add_string b "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"n\": %d, \"status\": \"%s\", \
+            \"baseline_ns_per_round\": %s, \"current_ns_per_round\": %s, \
+            \"delta_pct\": %s, \"baseline_matched_per_round\": %s, \
+            \"current_matched_per_round\": %s}%s\n"
+           r.r_name r.r_n (status_name r.status) (opt r.base_ns) (opt r.cur_ns)
+           (opt r.delta_pct) (opt r.base_matched) (opt r.cur_matched)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  print_string (Buffer.contents b)
+
+(* Offending rows go to stderr in both formats: a failing CI log must
+   show what sank the run, not a bare exit status. *)
+let print_offenders ~threshold rows =
+  List.iter
+    (fun r ->
+      match r.status with
+      | Regressed ->
+          Printf.eprintf "REGRESSION %s n=%d: %.0f -> %.0f ns/round (%+.1f%% > %.0f%%)\n"
+            r.r_name r.r_n
+            (Option.value r.base_ns ~default:0.0)
+            (Option.value r.cur_ns ~default:0.0)
+            (Option.value r.delta_pct ~default:0.0)
+            threshold
+      | Drift ->
+          Printf.eprintf
+            "DRIFT %s n=%d: matched/round %.3f -> %.3f (cardinality must not move)\n"
+            r.r_name r.r_n
+            (Option.value r.base_matched ~default:0.0)
+            (Option.value r.cur_matched ~default:0.0)
+      | Missing ->
+          Printf.eprintf
+            "MISSING %s n=%d: present in the baseline but absent from the current run\n"
+            r.r_name r.r_n
+      | Ok_row | New -> ())
+    rows
+
 let () =
   let args = Array.to_list Sys.argv in
   let threshold = ref 25.0 in
+  let format = ref `Table in
   let paths = ref [] in
   let rec parse = function
     | [] -> ()
@@ -214,6 +382,14 @@ let () =
         | Some p when p > 0.0 -> threshold := p
         | _ ->
             prerr_endline "compare: --threshold expects a positive percentage";
+            exit 2);
+        parse rest
+    | "--format" :: fmt :: rest ->
+        (match fmt with
+        | "table" -> format := `Table
+        | "json" -> format := `Json
+        | _ ->
+            prerr_endline "compare: --format expects 'table' or 'json'";
             exit 2);
         parse rest
     | a :: rest ->
@@ -226,66 +402,12 @@ let () =
       try
         let baseline = records_of_file baseline_path in
         let current = records_of_file current_path in
-        let regressions = ref [] in
-        let drifts = ref [] in
-        Printf.printf "%-36s %6s %14s %14s %9s\n" "benchmark" "n" "baseline ns/rd"
-          "current ns/rd" "delta";
-        List.iter
-          (fun cur ->
-            match
-              List.find_opt (fun b -> b.name = cur.name && b.n = cur.n) baseline
-            with
-            | None ->
-                Printf.printf "%-36s %6d %14s %14.0f %9s\n" cur.name cur.n "-"
-                  cur.ns_per_round "new"
-            | Some base ->
-                let delta =
-                  100.0 *. ((cur.ns_per_round /. base.ns_per_round) -. 1.0)
-                in
-                (match (base.matched_per_round, cur.matched_per_round) with
-                | Some bm, Some cm
-                  when abs_float (cm -. bm) > 0.001 *. Float.max 1.0 (abs_float bm)
-                  ->
-                    drifts := (cur, bm, cm) :: !drifts
-                | _ -> ());
-                let verdict =
-                  if delta > !threshold then begin
-                    regressions := (cur, base, delta) :: !regressions;
-                    "REGRESSED"
-                  end
-                  else Printf.sprintf "%+.1f%%" delta
-                in
-                Printf.printf "%-36s %6d %14.0f %14.0f %9s\n" cur.name cur.n
-                  base.ns_per_round cur.ns_per_round verdict)
-          current;
-        List.iter
-          (fun b ->
-            if
-              not
-                (List.exists (fun c -> c.name = b.name && c.n = b.n) current)
-            then Printf.printf "%-36s %6d (retired: present only in baseline)\n" b.name b.n)
-          baseline;
-        List.iter
-          (fun (cur, bm, cm) ->
-            Printf.printf
-              "DRIFT %s n=%d: matched/round %.3f -> %.3f (cardinality must not move)\n"
-              cur.name cur.n bm cm)
-          !drifts;
-        match (!regressions, !drifts) with
-        | [], [] ->
-            Printf.printf
-              "verdict: no ns_per_round regression beyond %.0f%%, no matched_per_round \
-               drift\n"
-              !threshold;
-            exit 0
-        | rs, _ ->
-            List.iter
-              (fun (cur, base, delta) ->
-                Printf.printf
-                  "REGRESSION %s n=%d: %.0f -> %.0f ns/round (%+.1f%% > %.0f%%)\n"
-                  cur.name cur.n base.ns_per_round cur.ns_per_round delta !threshold)
-              rs;
-            exit 1
+        let rows = diff ~threshold:!threshold baseline current in
+        (match !format with
+        | `Table -> print_table ~threshold:!threshold rows
+        | `Json -> print_json ~threshold:!threshold rows);
+        print_offenders ~threshold:!threshold rows;
+        exit (if List.exists (fun r -> failing r.status) rows then 1 else 0)
       with
       | Parse m ->
           prerr_endline ("compare: " ^ m);
@@ -294,5 +416,7 @@ let () =
           prerr_endline ("compare: " ^ m);
           exit 2)
   | _ ->
-      prerr_endline "usage: compare BASELINE.json CURRENT.json [--threshold PCT]";
+      prerr_endline
+        "usage: compare BASELINE.json CURRENT.json [--threshold PCT] [--format \
+         table|json]";
       exit 2

@@ -146,7 +146,7 @@ let () =
     end
     else None
   in
-  let records = Bench_matching.run () in
+  let records = Bench_matching.run () @ Bench_matching.run_sharded () in
   (match recorder with
   | None -> ()
   | Some r ->
@@ -154,6 +154,7 @@ let () =
       Obs.Report.print_summary (Obs.Report.of_recorder ~registry:Obs.Registry.default r);
       print_newline ());
   Bench_matching.print_table records;
+  Bench_matching.print_scaling_sweep ();
   (match json with
   | None -> ()
   | Some path -> Bench_matching.emit_json records ~path);

@@ -223,13 +223,29 @@ let engine_arg =
   Arg.(
     value
     & opt
-        (enum [ ("scratch", Vod.Engine.Scratch); ("incremental", Vod.Engine.Incremental) ])
+        (enum
+           [
+             ("scratch", Vod.Engine.Scratch);
+             ("incremental", Vod.Engine.Incremental);
+             ("sharded", Vod.Engine.Sharded);
+           ])
         Vod.Engine.Scratch
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
-          "Per-round matching engine: $(b,scratch) (re-solve the max flow every round) \
-           or $(b,incremental) (warm-start the solver with the previous round's \
-           matching and repair only the delta).")
+          "Per-round matching engine: $(b,scratch) (re-solve the max flow every round), \
+           $(b,incremental) (warm-start the solver with the previous round's matching \
+           and repair only the delta) or $(b,sharded) (partition the instance along its \
+           connected components, solve shards in parallel over --jobs workers and \
+           rebuild only the rows churn touched; output is identical for any --jobs).")
+
+let sim_jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the $(b,sharded) engine's shard solves (OCaml >= 5; the \
+           sequential backend ignores extra workers).  Never changes the output, only \
+           the wall-clock time.")
 
 (* Names of the solver counters worth a one-line summary after a run. *)
 let solver_counters =
@@ -242,7 +258,7 @@ let solver_counters =
   ]
 
 let simulate_cmd =
-  let run n u d c k m mu duration rounds seed scheme workload rate engine csv load
+  let run n u d c k m mu duration rounds seed scheme workload rate engine jobs csv load
       obs_out obs_summary =
     try
       let params, fleet, alloc =
@@ -272,7 +288,7 @@ let simulate_cmd =
       in
       let sim =
         Vod.Engine.create ~params ~fleet ~alloc ~policy:Vod.Engine.Continue
-          ~matching:engine ()
+          ~matching:engine ~jobs ()
       in
       let g = Vod.Prng.create ~seed:(seed + 7) () in
       let gen =
@@ -365,7 +381,7 @@ let simulate_cmd =
       ret
         (const run $ n_arg $ u_arg $ d_arg $ c_arg $ k_arg $ m_arg $ mu_arg
        $ duration_arg $ rounds_arg $ seed_arg $ scheme_arg $ workload_arg $ rate_arg
-       $ engine_arg $ csv_arg $ load_arg $ obs_out_arg $ obs_summary_arg))
+       $ engine_arg $ sim_jobs_arg $ csv_arg $ load_arg $ obs_out_arg $ obs_summary_arg))
 
 (* ------------------------------------------------------------------ *)
 (* attack                                                              *)
@@ -690,8 +706,8 @@ let check_cmd =
           Vod.Check.Fuzz.run ~seed ~instances ~scenarios ~rounds ?repro_dir ()
         in
         Printf.printf
-          "differential check (seed %d): %d bipartite instances x 10 solvers, %d \
-           scenarios x 5 engines (3 schedulers + 2 incremental)\n"
+          "differential check (seed %d): %d bipartite instances x 13 solvers, %d \
+           scenarios x 7 engines (3 schedulers + 2 incremental + 2 sharded)\n"
           seed summary.Vod.Check.Fuzz.instances_checked
           summary.Vod.Check.Fuzz.scenarios_checked;
         Printf.printf

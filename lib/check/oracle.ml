@@ -16,11 +16,35 @@ let solver_agreement inst =
      assignment (every seat re-validates, repair must find nothing new
      to add beyond the optimum). *)
   let inc st ?warm_start () = B.solve_incremental st ?warm_start bip in
+  (* The sharded solver joins three times: default sharding, two
+     workers (jobs must never change anything) and a single shard (the
+     whole instance through the shard plumbing).  Its contract is
+     stronger than cardinality: the merged assignment must be
+     bit-identical to the plain CSR Hopcroft-Karp's, because HK's
+     phases never cross component boundaries. *)
+  let sharded ?max_shards ?jobs () =
+    let sh = Vod_graph.Shard.create ?max_shards () in
+    let csr = B.csr bip in
+    let size = Vod_graph.Shard.solve ?jobs sh csr in
+    {
+      B.matched = size;
+      assignment = Array.sub (Vod_graph.Shard.assignment sh) 0 (Vod_graph.Csr.n_left csr);
+      right_load = Array.sub (Vod_graph.Shard.right_load sh) 0 (Vod_graph.Csr.n_right csr);
+    }
+  in
+  let hk = B.solve ~algorithm:B.Hopcroft_karp_matching bip in
+  let sharded_variants =
+    [
+      ("sharded", sharded ());
+      ("sharded_jobs2", sharded ~jobs:2 ());
+      ("sharded_single_shard", sharded ~max_shards:1 ());
+    ]
+  in
   let outcomes =
     [
       ("dinic", dinic);
       ("push_relabel", B.solve ~algorithm:B.Push_relabel_flow bip);
-      ("hopcroft_karp", B.solve ~algorithm:B.Hopcroft_karp_matching bip);
+      ("hopcroft_karp", hk);
       (* The pre-CSR implementations (explicit Flow_network / slot
          expansion) stay on the panel as independent oracles for the
          flat solver cores. *)
@@ -36,6 +60,7 @@ let solver_agreement inst =
           (B.Incremental.create ~algorithm:B.Dinic_flow ())
           ~warm_start:dinic.B.assignment () );
     ]
+    @ sharded_variants
   in
   let* () =
     List.fold_left
@@ -55,6 +80,18 @@ let solver_agreement inst =
         ("solvers disagree on matched cardinality: "
         ^ String.concat ", "
             (List.map (fun (n, m) -> Printf.sprintf "%s=%d" n m) counts))
+  in
+  let* () =
+    List.fold_left
+      (fun acc (name, o) ->
+        let* () = acc in
+        if o.B.assignment = hk.B.assignment && o.B.right_load = hk.B.right_load then
+          Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "%s: merged sharded assignment differs from hopcroft_karp's" name))
+      (Ok ()) sharded_variants
   in
   match (B.hall_violator bip, reference = inst.Instance.n_left) with
   | None, true -> Ok reference
@@ -119,6 +156,8 @@ let scheduler_agreement ~params ~fleet ~alloc ?compensation ~rounds ~script () =
       ("sticky", mk Engine.Sticky);
       ("arbitrary_incremental", mk ~matching:Engine.Incremental Engine.Arbitrary);
       ("sticky_incremental", mk ~matching:Engine.Incremental Engine.Sticky);
+      ("arbitrary_sharded", mk ~matching:Engine.Sharded Engine.Arbitrary);
+      ("sticky_sharded", mk ~matching:Engine.Sharded Engine.Sticky);
     ]
   in
   let failure_rounds = ref 0 and certified = ref 0 in

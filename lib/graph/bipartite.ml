@@ -30,6 +30,13 @@ let reset t ~n_left ~n_right ~right_cap =
   Array.iteri (fun r c -> Csr.set_right_cap t.csr r c) right_cap;
   t.dedup <- None
 
+let delta_rebuild t ~n_left ~right_cap ~src_of ~fill =
+  let n_right = Csr.n_right t.csr in
+  validate_shape ~who:"Bipartite.delta_rebuild" ~n_left ~n_right ~right_cap;
+  Array.iteri (fun r c -> Csr.set_right_cap t.csr r c) right_cap;
+  Csr.rebuild_rows t.csr ~n_left ~src_of ~fill;
+  t.dedup <- None
+
 let add_edge t ~left ~right =
   if left < 0 || left >= Csr.n_left t.csr then
     invalid_arg "Bipartite.add_edge: left out of range";

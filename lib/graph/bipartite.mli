@@ -21,6 +21,23 @@ val reset : t -> n_left:int -> n_right:int -> right_cap:int array -> unit
     once buffers reach their high-water mark a reset + refill allocates
     nothing.  Same validation as {!create}. *)
 
+val delta_rebuild :
+  t ->
+  n_left:int ->
+  right_cap:int array ->
+  src_of:(int -> int) ->
+  fill:(int -> (int -> unit) -> unit) ->
+  unit
+(** Rebuild the instance for the next round from the current one,
+    copying unchanged rows and re-emitting only dirty ones — the
+    engine's churn-proportional alternative to {!reset} + {!add_edge}.
+    [src_of l] names the current row new row [l] copies verbatim, or
+    [-1] for a row refilled by [fill l emit]; the number of rights is
+    unchanged and their capacities are set from [right_cap].  See
+    {!Csr.rebuild_rows} for cost and the frozen-instance caveat
+    ({!add_edge} raises until the next {!reset}).
+    @raise Invalid_argument as {!reset}, or as {!Csr.rebuild_rows}. *)
+
 val add_edge : t -> left:int -> right:int -> unit
 (** Declares that box [right] can serve request [left].  Duplicate edges
     are tolerated (they do not change the instance).

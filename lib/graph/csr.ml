@@ -24,6 +24,10 @@ type t = {
   mutable rcnt : int array; (* per-right counting-sort cursors *)
   mutable order : int array; (* pending-edge ids sorted by right *)
   mutable dirty : bool;
+  (* delta rebuilds: double buffers swapped by [rebuild_rows] *)
+  mutable col_alt : int array;
+  mutable row_start_alt : int array;
+  mutable frozen : bool; (* true after [rebuild_rows]: pending list is stale *)
 }
 
 let next_cap n =
@@ -61,6 +65,9 @@ let create () =
     rcnt = [||];
     order = [||];
     dirty = false;
+    col_alt = [||];
+    row_start_alt = [||];
+    frozen = false;
   }
 
 let reset t ~n_left ~n_right =
@@ -73,7 +80,8 @@ let reset t ~n_left ~n_right =
   Array.fill t.right_cap 0 n_right 0;
   t.row_start <- ensure t.row_start (n_left + 1);
   Array.fill t.row_start 0 (n_left + 1) 0;
-  t.dirty <- false
+  t.dirty <- false;
+  t.frozen <- false
 
 let set_right_cap t r c =
   if r < 0 || r >= t.n_right then invalid_arg "Csr.set_right_cap: right out of range";
@@ -81,6 +89,8 @@ let set_right_cap t r c =
   t.right_cap.(r) <- c
 
 let add_edge t ~left ~right =
+  if t.frozen then
+    invalid_arg "Csr.add_edge: instance is frozen after rebuild_rows (reset it first)";
   if left < 0 || left >= t.n_left then invalid_arg "Csr.add_edge: left out of range";
   if right < 0 || right >= t.n_right then invalid_arg "Csr.add_edge: right out of range";
   let n = t.n_pending in
@@ -164,6 +174,84 @@ let finalize t =
     t.n_edges <- !w;
     t.dirty <- false
   end
+
+(* Delta rebuild: produce the next round's finalized row view from the
+   current one, copying unchanged rows wholesale and re-emitting only
+   dirty ones.  Writes go to the alternate buffers, then the buffer
+   pairs are swapped, so clean-row blits read stable memory.  The
+   pending-edge list is NOT maintained, so the instance is [frozen]
+   afterwards: [add_edge] refuses until the next [reset]. *)
+let rebuild_rows t ~n_left ~src_of ~fill =
+  finalize t;
+  let old_row_start = t.row_start and old_col = t.col in
+  let row_start = ensure t.row_start_alt (n_left + 1) in
+  (* worst case: every dirty row rewritten plus all clean-row bytes; we
+     grow [col_alt] incrementally as rows are emitted instead of
+     precomputing, since dirty rows have unknown size until filled. *)
+  let col = ref (ensure t.col_alt (max t.n_edges 8)) in
+  let w = ref 0 in
+  row_start.(0) <- 0;
+  for l = 0 to n_left - 1 do
+    let src = src_of l in
+    if src >= 0 then begin
+      (* clean row: blit the old segment verbatim *)
+      if src >= t.n_left then invalid_arg "Csr.rebuild_rows: src_of out of range";
+      let rb = old_row_start.(src) and re = old_row_start.(src + 1) in
+      let len = re - rb in
+      if Array.length !col < !w + len then begin
+        let grown = Array.make (next_cap (!w + len)) 0 in
+        Array.blit !col 0 grown 0 !w;
+        col := grown
+      end;
+      Array.blit old_col rb !col !w len;
+      w := !w + len
+    end
+    else begin
+      (* dirty row: append raw neighbours, then sort + dedup in place *)
+      let row_begin = !w in
+      fill l (fun r ->
+          if r < 0 || r >= t.n_right then
+            invalid_arg "Csr.rebuild_rows: emitted right out of range";
+          if Array.length !col < !w + 1 then begin
+            let grown = Array.make (next_cap (!w + 1)) 0 in
+            Array.blit !col 0 grown 0 !w;
+            col := grown
+          end;
+          !col.(!w) <- r;
+          incr w);
+      let a = !col in
+      (* insertion sort: rows are short (degree-bounded) *)
+      for i = row_begin + 1 to !w - 1 do
+        let v = a.(i) in
+        let j = ref (i - 1) in
+        while !j >= row_begin && a.(!j) > v do
+          a.(!j + 1) <- a.(!j);
+          decr j
+        done;
+        a.(!j + 1) <- v
+      done;
+      let wr = ref row_begin in
+      for i = row_begin to !w - 1 do
+        let r = a.(i) in
+        if !wr = row_begin || a.(!wr - 1) <> r then begin
+          a.(!wr) <- r;
+          incr wr
+        end
+      done;
+      w := !wr
+    end;
+    row_start.(l + 1) <- !w
+  done;
+  (* swap the buffer pairs: the fresh view becomes primary *)
+  t.row_start_alt <- t.row_start;
+  t.col_alt <- old_col;
+  t.row_start <- row_start;
+  t.col <- !col;
+  t.n_left <- n_left;
+  t.n_edges <- !w;
+  t.n_pending <- 0;
+  t.dirty <- false;
+  t.frozen <- true
 
 let n_left t = t.n_left
 let n_right t = t.n_right

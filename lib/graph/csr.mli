@@ -47,6 +47,23 @@ val finalize : t -> unit
     by the accessors below, so calling it explicitly is only useful for
     timing. *)
 
+val rebuild_rows :
+  t -> n_left:int -> src_of:(int -> int) -> fill:(int -> (int -> unit) -> unit) -> unit
+(** Delta rebuild of the finalized row view for the next round, reusing
+    rows unchanged since the last one.  [src_of l] names the current
+    row whose edge set new row [l] copies verbatim (a clean row), or
+    [-1] for a dirty row whose neighbours are re-emitted by
+    [fill l emit] (in any order, duplicates allowed — the row is sorted
+    and deduplicated in place afterwards, so it lands in the same
+    normal form as [finalize]).  Cost is O(dirty edges + n_left) plus a
+    [blit] of the clean bytes — per-round work proportional to churn,
+    not to instance size.  The number of rights and the capacity array
+    are untouched; set capacities separately.  Afterwards the instance
+    is {e frozen}: the pending-edge list no longer mirrors the row
+    view, so [add_edge] raises until the next [reset].
+    @raise Invalid_argument if [src_of] names an out-of-range row or
+    [fill] emits an out-of-range right. *)
+
 val n_left : t -> int
 val n_right : t -> int
 

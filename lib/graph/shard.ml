@@ -1,0 +1,327 @@
+(* Component-sharded parallel matching: union-find component labelling
+   over the finalized edge set, balanced packing of components into
+   shards, per-shard CSR instances solved over Par.map, deterministic
+   fixed-order merge.  See shard.mli for the determinism contract. *)
+
+module Registry = Vod_obs.Registry
+
+type shard = {
+  csr : Csr.t;
+  arena : Arena.t;
+  reg : Registry.t;
+  mutable lefts : int array; (* local left -> global left *)
+  mutable rights : int array; (* local right -> global right *)
+  mutable n_left : int;
+  mutable n_right : int;
+  mutable warm : int array; (* projected local warm-start hints *)
+  mutable matched : int;
+}
+
+type t = {
+  max_shards : int;
+  (* union-find scratch over n_left + n_right vertices; right vertex
+     [r] is node [n_left + r] *)
+  mutable parent : int array;
+  mutable usize : int array;
+  mutable comp_of_root : int array;
+  mutable comp_of_left : int array;
+  mutable comp_of_right : int array;
+  mutable comp_edges : int array;
+  mutable shard_of_comp : int array;
+  (* global -> shard-local vertex ids; valid because a vertex belongs
+     to at most one component, hence at most one shard *)
+  mutable left_local : int array;
+  mutable right_local : int array;
+  mutable pool : shard array;
+  mutable n_components : int;
+  mutable n_shards : int;
+  mutable nl : int;
+  mutable nr : int;
+  (* merged results *)
+  mutable assignment : int array;
+  mutable right_load : int array;
+}
+
+let next_cap n =
+  let c = ref 8 in
+  while !c < n do
+    c := 2 * !c
+  done;
+  !c
+
+let ensure a n = if Array.length a >= n then a else Array.make (next_cap n) 0
+
+let ensure_keep a n used =
+  if Array.length a >= n then a
+  else begin
+    let a' = Array.make (next_cap n) 0 in
+    Array.blit a 0 a' 0 used;
+    a'
+  end
+
+let fresh_shard () =
+  {
+    csr = Csr.create ();
+    arena = Arena.create ();
+    reg = Registry.create ();
+    lefts = [||];
+    rights = [||];
+    n_left = 0;
+    n_right = 0;
+    warm = [||];
+    matched = 0;
+  }
+
+let create ?(max_shards = 64) () =
+  if max_shards < 1 then invalid_arg "Shard.create: max_shards < 1";
+  {
+    max_shards;
+    parent = [||];
+    usize = [||];
+    comp_of_root = [||];
+    comp_of_left = [||];
+    comp_of_right = [||];
+    comp_edges = [||];
+    shard_of_comp = [||];
+    left_local = [||];
+    right_local = [||];
+    pool = [||];
+    n_components = 0;
+    n_shards = 0;
+    nl = 0;
+    nr = 0;
+    assignment = [||];
+    right_load = [||];
+  }
+
+let max_shards t = t.max_shards
+let n_components t = t.n_components
+let n_shards t = t.n_shards
+let component_of_left t = t.comp_of_left
+let component_of_right t = t.comp_of_right
+
+let shard_get t i =
+  if i < 0 || i >= t.n_shards then invalid_arg "Shard: shard index out of range";
+  t.pool.(i)
+
+let shard_csr t i = (shard_get t i).csr
+let shard_lefts t i = (shard_get t i).lefts
+let shard_rights t i = (shard_get t i).rights
+let assignment t = t.assignment
+let right_load t = t.right_load
+
+(* union-find: path halving + union by size *)
+let rec find parent i =
+  let p = parent.(i) in
+  if p = i then i
+  else begin
+    parent.(i) <- parent.(p);
+    find parent parent.(i)
+  end
+
+let union parent usize a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then begin
+    let ra, rb = if usize.(ra) >= usize.(rb) then (ra, rb) else (rb, ra) in
+    parent.(rb) <- ra;
+    usize.(ra) <- usize.(ra) + usize.(rb)
+  end
+
+let m_shard_count = Registry.gauge Registry.default "shard.count"
+let m_shard_components = Registry.gauge Registry.default "shard.components"
+
+let partition t csr =
+  let nl = Csr.n_left csr and nr = Csr.n_right csr in
+  let row_start = Csr.row_start csr and col = Csr.col csr in
+  let caps = Csr.right_cap_array csr in
+  t.nl <- nl;
+  t.nr <- nr;
+  let nv = nl + nr in
+  let parent = ensure t.parent (max nv 1) in
+  let usize = ensure t.usize (max nv 1) in
+  t.parent <- parent;
+  t.usize <- usize;
+  for i = 0 to nv - 1 do
+    parent.(i) <- i;
+    usize.(i) <- 1
+  done;
+  for l = 0 to nl - 1 do
+    for i = row_start.(l) to row_start.(l + 1) - 1 do
+      union parent usize l (nl + col.(i))
+    done
+  done;
+  (* dense component ids by first appearance, lefts ascending; a
+     degree-0 vertex joins no component *)
+  let comp_of_root = ensure t.comp_of_root (max nv 1) in
+  let comp_of_left = ensure t.comp_of_left (max nl 1) in
+  let comp_of_right = ensure t.comp_of_right (max nr 1) in
+  t.comp_of_root <- comp_of_root;
+  t.comp_of_left <- comp_of_left;
+  t.comp_of_right <- comp_of_right;
+  Array.fill comp_of_root 0 nv (-1);
+  let ncomp = ref 0 in
+  for l = 0 to nl - 1 do
+    if row_start.(l + 1) > row_start.(l) then begin
+      let r = find parent l in
+      if comp_of_root.(r) < 0 then begin
+        comp_of_root.(r) <- !ncomp;
+        incr ncomp
+      end;
+      comp_of_left.(l) <- comp_of_root.(r)
+    end
+    else comp_of_left.(l) <- -1
+  done;
+  for r = 0 to nr - 1 do
+    comp_of_right.(r) <- comp_of_root.(find parent (nl + r))
+  done;
+  let ncomp = !ncomp in
+  t.n_components <- ncomp;
+  (* balanced contiguous packing: component [c] goes to the shard its
+     cumulative edge mass falls into, so composition depends only on
+     the instance and [max_shards] *)
+  let comp_edges = ensure t.comp_edges (max ncomp 1) in
+  t.comp_edges <- comp_edges;
+  Array.fill comp_edges 0 ncomp 0;
+  for l = 0 to nl - 1 do
+    let c = comp_of_left.(l) in
+    if c >= 0 then comp_edges.(c) <- comp_edges.(c) + (row_start.(l + 1) - row_start.(l))
+  done;
+  let total_edges = ref 0 in
+  for c = 0 to ncomp - 1 do
+    total_edges := !total_edges + comp_edges.(c)
+  done;
+  let k = min t.max_shards ncomp in
+  t.n_shards <- k;
+  let shard_of_comp = ensure t.shard_of_comp (max ncomp 1) in
+  t.shard_of_comp <- shard_of_comp;
+  let cum = ref 0 in
+  for c = 0 to ncomp - 1 do
+    shard_of_comp.(c) <- min (k - 1) (!cum * k / max !total_edges 1);
+    cum := !cum + comp_edges.(c)
+  done;
+  (* grow the shard pool, then assign local vertex ids in ascending
+     global order so shard-local instances are canonical *)
+  if Array.length t.pool < k then begin
+    let pool = Array.init (next_cap k) (fun i ->
+        if i < Array.length t.pool then t.pool.(i) else fresh_shard ())
+    in
+    t.pool <- pool
+  end;
+  for s = 0 to k - 1 do
+    let sh = t.pool.(s) in
+    sh.n_left <- 0;
+    sh.n_right <- 0;
+    sh.matched <- 0
+  done;
+  let left_local = ensure t.left_local (max nl 1) in
+  let right_local = ensure t.right_local (max nr 1) in
+  t.left_local <- left_local;
+  t.right_local <- right_local;
+  for l = 0 to nl - 1 do
+    let c = comp_of_left.(l) in
+    if c >= 0 then begin
+      let sh = t.pool.(shard_of_comp.(c)) in
+      let i = sh.n_left in
+      sh.lefts <- ensure_keep sh.lefts (i + 1) i;
+      sh.lefts.(i) <- l;
+      left_local.(l) <- i;
+      sh.n_left <- i + 1
+    end
+    else left_local.(l) <- -1
+  done;
+  for r = 0 to nr - 1 do
+    let c = comp_of_right.(r) in
+    if c >= 0 then begin
+      let sh = t.pool.(shard_of_comp.(c)) in
+      let i = sh.n_right in
+      sh.rights <- ensure_keep sh.rights (i + 1) i;
+      sh.rights.(i) <- r;
+      right_local.(r) <- i;
+      sh.n_right <- i + 1
+    end
+    else right_local.(r) <- -1
+  done;
+  for s = 0 to k - 1 do
+    let sh = t.pool.(s) in
+    Csr.reset sh.csr ~n_left:sh.n_left ~n_right:sh.n_right;
+    for r = 0 to sh.n_right - 1 do
+      Csr.set_right_cap sh.csr r caps.(sh.rights.(r))
+    done
+  done;
+  for l = 0 to nl - 1 do
+    let c = comp_of_left.(l) in
+    if c >= 0 then begin
+      let sh = t.pool.(shard_of_comp.(c)) in
+      let ll = left_local.(l) in
+      for i = row_start.(l) to row_start.(l + 1) - 1 do
+        Csr.add_edge sh.csr ~left:ll ~right:right_local.(col.(i))
+      done
+    end
+  done;
+  Registry.set m_shard_count k;
+  Registry.set m_shard_components ncomp
+
+let solve ?jobs ?warm_start t csr =
+  let nl = Csr.n_left csr and nr = Csr.n_right csr in
+  (match warm_start with
+  | Some w when Array.length w < nl -> invalid_arg "Shard.solve: warm_start too short"
+  | _ -> ());
+  partition t csr;
+  let k = t.n_shards in
+  (match warm_start with
+  | None -> ()
+  | Some w ->
+      for s = 0 to k - 1 do
+        let sh = t.pool.(s) in
+        sh.warm <- ensure sh.warm (max sh.n_left 1);
+        for l = 0 to sh.n_left - 1 do
+          let g = sh.lefts.(l) in
+          let wr = w.(g) in
+          sh.warm.(l) <-
+            (* a seat outside the left's own component could never be
+               adjacent, so it projects to "no hint" *)
+            (if wr >= 0 && t.comp_of_right.(wr) = t.comp_of_left.(g) then
+               t.right_local.(wr)
+             else -1)
+        done
+      done);
+  (* each task owns its shard's csr, arena and registry outright;
+     finalize runs inside the task so the counting sort of big shards
+     parallelises too *)
+  let solve_one s =
+    let sh = t.pool.(s) in
+    let warm = match warm_start with None -> None | Some _ -> Some sh.warm in
+    let m = Hopcroft_karp.solve_csr ?warm_start:warm ~arena:sh.arena sh.csr in
+    sh.matched <- m;
+    Registry.incr (Registry.counter sh.reg "shard.solves");
+    Registry.add (Registry.counter sh.reg "shard.lefts") sh.n_left;
+    Registry.add (Registry.counter sh.reg "shard.edges") (Csr.n_edges sh.csr);
+    Registry.add (Registry.counter sh.reg "shard.matched") m;
+    m
+  in
+  let sizes = Vod_par.Par.map ?jobs ~f:solve_one k in
+  (* absorb per-shard observations in fixed shard order, then zero the
+     private registries so the next solve starts clean *)
+  for s = 0 to k - 1 do
+    Registry.absorb ~into:Registry.default t.pool.(s).reg;
+    Registry.reset t.pool.(s).reg
+  done;
+  let assignment = ensure t.assignment (max nl 1) in
+  let right_load = ensure t.right_load (max nr 1) in
+  t.assignment <- assignment;
+  t.right_load <- right_load;
+  Array.fill assignment 0 nl (-1);
+  Array.fill right_load 0 nr 0;
+  for s = 0 to k - 1 do
+    let sh = t.pool.(s) in
+    let a = Arena.assignment sh.arena in
+    let rl = Arena.right_load sh.arena in
+    for l = 0 to sh.n_left - 1 do
+      let m = a.(l) in
+      if m >= 0 then assignment.(sh.lefts.(l)) <- sh.rights.(m)
+    done;
+    for r = 0 to sh.n_right - 1 do
+      right_load.(sh.rights.(r)) <- rl.(r)
+    done
+  done;
+  Array.fold_left ( + ) 0 sizes

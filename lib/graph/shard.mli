@@ -1,0 +1,94 @@
+(** Component-sharded parallel maximum matching.
+
+    A round's bipartite instance decomposes into independent connected
+    components — in the VoD model, one per swarm of boxes caching the
+    same stripes — and a maximum matching of the whole instance is the
+    disjoint union of maximum matchings of its components.  This module
+    labels the components with a union-find pass over the finalized
+    edge set, groups them into at most [max_shards] shards of balanced
+    edge mass, builds each shard as its own [Csr.t] (local vertex ids,
+    global ids kept in translation tables), solves the shards
+    concurrently over {!Vod_par.Par.map}, and merges the per-shard
+    assignments back into global arrays.
+
+    Determinism contract (tested in [test_graph] and the vod_check
+    oracle panel):
+
+    - shard composition depends only on the instance and [max_shards],
+      never on [jobs]: components are numbered by first appearance in
+      left-ascending order and packed into shards by cumulative edge
+      count, so the same instance always shards the same way;
+    - merging walks shards in fixed ascending order, so the final
+      assignment is bit-identical for any [jobs] — [Par.map] only
+      changes which domain solves a shard, not what it returns;
+    - each shard owns a private [Arena.t] and a private
+      [Vod_obs.Registry.t] (arenas are not domain-safe); the
+      registries are absorbed into [Registry.default] in shard order
+      after the join;
+    - the per-shard solves themselves are [Hopcroft_karp.solve_csr],
+      whose phases are confined to one component's vertices, so the
+      merged assignment is identical to a single whole-instance solve
+      (components never interact through BFS distances or seat
+      counters). *)
+
+type t
+
+val create : ?max_shards:int -> unit -> t
+(** A reusable sharding context.  [max_shards] bounds the number of
+    shards a partition produces (default 64); it is a property of the
+    context, not of the machine, so outputs are comparable across
+    hosts and job counts.
+    @raise Invalid_argument on [max_shards < 1]. *)
+
+val max_shards : t -> int
+
+val partition : t -> Csr.t -> unit
+(** Label connected components of the (finalized) instance and build
+    per-shard CSR instances.  O(edges + vertices), allocation-free at
+    the steady state.  The shard CSRs borrow nothing from the input:
+    they copy edges and right capacities, so the input may be reused
+    immediately. *)
+
+val n_components : t -> int
+(** Components found by the last [partition] (isolated vertices are in
+    no component). *)
+
+val n_shards : t -> int
+(** Shards built by the last [partition]; [min max_shards n_components]. *)
+
+val component_of_left : t -> int array
+(** Borrowed; per left vertex, its component id or -1 for degree 0.
+    Valid until the next [partition]. *)
+
+val component_of_right : t -> int array
+(** Borrowed; per right vertex, its component id or -1 if no edge
+    touches it. *)
+
+val shard_csr : t -> int -> Csr.t
+(** The [i]-th shard's local-id instance (borrowed; for tests).
+    @raise Invalid_argument on an out-of-range shard. *)
+
+val shard_lefts : t -> int -> int array
+(** Borrowed; per local left of shard [i], its global id (entries
+    [0 .. n_left(shard)-1]). *)
+
+val shard_rights : t -> int -> int array
+(** Borrowed; per local right of shard [i], its global id. *)
+
+val solve : ?jobs:int -> ?warm_start:int array -> t -> Csr.t -> int
+(** [solve t csr] = [partition t csr], solve every shard (concurrently
+    when [jobs > 1] on the domains backend), merge.  Returns the
+    matching size; the merged assignment and right loads are read with
+    {!assignment} / {!right_load}.  [warm_start] is a global
+    left-to-right seating hint (length at least [n_left]); it is
+    projected into per-shard hints (a seat outside the left's own
+    component is discarded — it could never be adjacent).
+    @raise Invalid_argument when [warm_start] is shorter than the
+    instance's [n_left]. *)
+
+val assignment : t -> int array
+(** Borrowed; per global left, the matched right or -1.  Valid until
+    the next [solve]. *)
+
+val right_load : t -> int array
+(** Borrowed; per global right, seats taken. *)

@@ -13,6 +13,15 @@ let obs_link_failures =
 let obs_repair_served =
   Vod_obs.Registry.counter Vod_obs.Registry.default "repair.slot_rounds_served"
 
+let obs_delta_builds =
+  Vod_obs.Registry.counter Vod_obs.Registry.default "engine.delta_builds"
+
+let obs_delta_rows =
+  Vod_obs.Registry.counter Vod_obs.Registry.default "engine.delta_rows"
+
+let obs_delta_fallbacks =
+  Vod_obs.Registry.counter Vod_obs.Registry.default "engine.delta_fallbacks"
+
 type kind = Preload | Postponed | Relayed_preload | Relayed_postponed | Repair_transfer
 
 type request = {
@@ -36,7 +45,7 @@ type scheduler =
   | Prefer_local
   | Balance_load
 
-type matching_engine = Scratch | Incremental
+type matching_engine = Scratch | Incremental | Sharded
 
 type round_report = {
   time : int;
@@ -89,6 +98,18 @@ type t = {
   right_cap_scratch : int array; (* per-round online-masked capacities *)
   inc_state : Vod_graph.Bipartite.Incremental.state option;
       (* warm-start matcher, Some iff matching = Incremental *)
+  shard : Vod_graph.Shard.t option; (* Some iff matching = Sharded *)
+  jobs : int; (* worker count for the sharded solver *)
+  (* delta-CSR build tracking (Sharded only): which rows of the next
+     round's instance can be blitted from the current one *)
+  track_delta : bool;
+  mutable prev_requests : request array; (* rows of the last built instance *)
+  touched : (int, unit) Hashtbl.t; (* stripes dirtied since the last build *)
+  mutable all_dirty : bool; (* global invalidation (online/alloc change) *)
+  frozen_until : (int, int) Hashtbl.t;
+      (* stripe -> last round its frozen mid-flight cache entries stay
+         in the window; rows of the stripe are dirty until then *)
+  mutable src_buf : int array; (* per-row source index for delta builds *)
   sched_rng : Vod_util.Prng.t; (* randomness for the decentralised scheduler *)
   demand_round : int array; (* per box: round of its current demand's first request *)
   awaiting_first : int array; (* per box: stripes of the current demand not yet streaming *)
@@ -108,8 +129,10 @@ let compute_capacity ~params ~fleet ~compensation ~factor b =
        (Float.max 0.0 ((fleet.(b).Box.upload *. factor) -. reserved)))
 
 let create ~params ~fleet ~alloc ?compensation ?(policy = Fail_fast)
-    ?(preloading = true) ?(scheduler = Arbitrary) ?(matching = Scratch) ?topology () =
+    ?(preloading = true) ?(scheduler = Arbitrary) ?(matching = Scratch) ?(jobs = 1)
+    ?max_shards ?topology () =
   let n = params.Params.n in
+  if jobs < 1 then invalid_arg "Engine.create: jobs < 1";
   (match (scheduler, topology) with
   | Prefer_local, None ->
       invalid_arg "Engine.create: Prefer_local requires a topology"
@@ -157,8 +180,19 @@ let create ~params ~fleet ~alloc ?compensation ?(policy = Fail_fast)
     right_cap_scratch = Array.make n 0;
     inc_state =
       (match matching with
-      | Scratch -> None
+      | Scratch | Sharded -> None
       | Incremental -> Some (Vod_graph.Bipartite.Incremental.create ()));
+    shard =
+      (match matching with
+      | Scratch | Incremental -> None
+      | Sharded -> Some (Vod_graph.Shard.create ?max_shards ()));
+    jobs;
+    track_delta = (matching = Sharded);
+    prev_requests = [||];
+    touched = Hashtbl.create 64;
+    all_dirty = true;
+    frozen_until = Hashtbl.create 16;
+    src_buf = [||];
     demand_round = Array.make n 0;
     awaiting_first = Array.make n 0;
     startups = Vec.create ();
@@ -195,6 +229,32 @@ let idle_boxes t =
 
 let window_start t = t.now - t.params.Params.duration
 
+(* Delta-build bookkeeping (Sharded only).  A cancelled or
+   offline-dropped in-flight request stays in [recent] with its
+   progress frozen; the relative-progress relations against the rows
+   that keep advancing shift every round it remains in the window, so
+   rows of its stripe cannot be blitted until the entry expires. *)
+let freeze_stripe t req =
+  if t.track_delta && req.kind <> Repair_transfer then begin
+    let until = req.issued_at + t.params.Params.duration in
+    let cur =
+      match Hashtbl.find_opt t.frozen_until req.stripe with
+      | Some u -> u
+      | None -> min_int
+    in
+    if until > cur then Hashtbl.replace t.frozen_until req.stripe until
+  end
+
+let stripe_frozen t stripe ~time =
+  match Hashtbl.find_opt t.frozen_until stripe with
+  | None -> false
+  | Some until ->
+      if time <= until then true
+      else begin
+        Hashtbl.remove t.frozen_until stripe;
+        false
+      end
+
 let swarm_size t v =
   let entries = t.swarm.(v) in
   let lo = window_start t in
@@ -215,7 +275,8 @@ let set_alloc t alloc =
     Catalog.stripes_per_video cat <> Catalog.stripes_per_video cat0
     || Catalog.videos cat <> Catalog.videos cat0
   then invalid_arg "Engine.set_alloc: catalog shape changed";
-  t.alloc <- alloc
+  t.alloc <- alloc;
+  if t.track_delta then t.all_dirty <- true
 
 let set_upload_factor t ~box ~factor =
   if box < 0 || box >= t.params.Params.n then
@@ -399,11 +460,13 @@ let repair_in_flight t =
 let prune_recent t =
   let lo = window_start t in
   Hashtbl.iter
-    (fun _ entries ->
+    (fun stripe entries ->
       if Vec.length entries > 0 && (Vec.get entries 0).issued_at < lo then begin
         let kept = Vec.to_list entries |> List.filter (fun r -> r.issued_at >= lo) in
         Vec.clear entries;
-        List.iter (Vec.push entries) kept
+        List.iter (Vec.push entries) kept;
+        (* a cache entry left the window: the stripe's rows lost edges *)
+        if t.track_delta then Hashtbl.replace t.touched stripe ()
       end)
     t.recent;
   (* occasionally rebuild swarm vectors to stay compact *)
@@ -481,7 +544,13 @@ let cancel t box =
   (* the viewer leaves, but any repair transfer towards the box is
      maintenance traffic and survives the cancellation *)
   let keeps r = r.owner <> box || r.kind = Repair_transfer in
-  let keep = Vec.to_list t.active |> List.filter keeps in
+  let keep =
+    Vec.to_list t.active
+    |> List.filter (fun r ->
+           let k = keeps r in
+           if not k then freeze_stripe t r;
+           k)
+  in
   Vec.clear t.active;
   List.iter (Vec.push t.active) keep;
   Hashtbl.iter
@@ -496,11 +565,18 @@ let cancel t box =
 let set_online t box online =
   if box < 0 || box >= t.params.Params.n then
     invalid_arg "Engine.set_online: box out of range";
+  if t.track_delta && t.online.(box) <> online then t.all_dirty <- true;
   if t.online.(box) && not online then begin
     (* the viewer disappears: drop its in-flight and scheduled requests
        (its static replicas become unavailable through the matching
        capacity; its cache entries are filtered out while offline) *)
-    let keep = Vec.to_list t.active |> List.filter (fun r -> r.owner <> box) in
+    let keep =
+      Vec.to_list t.active
+      |> List.filter (fun r ->
+             let k = r.owner <> box in
+             if not k then freeze_stripe t r;
+             k)
+    in
     Vec.clear t.active;
     List.iter (Vec.push t.active) keep;
     Hashtbl.iter
@@ -575,30 +651,90 @@ let step t =
        the run's high-water mark, the whole build phase stops
        allocating *)
     let instance = t.inst in
-    Vod_graph.Bipartite.reset instance ~n_left ~n_right:n
-      ~right_cap:t.right_cap_scratch;
-    Array.iteri
-      (fun l req ->
-        (* a repair transfer must copy from a peer: the destination box
-           never serves itself *)
-        let usable b = t.online.(b) && (req.kind <> Repair_transfer || b <> req.owner) in
-        Array.iter
-          (fun b ->
-            if usable b then Vod_graph.Bipartite.add_edge instance ~left:l ~right:b)
-          (Allocation.boxes_of_stripe t.alloc req.stripe);
-        Vec.iter
-          (fun candidate ->
-            if
-              candidate.issued_at < req.issued_at
-              && candidate.progress > req.progress
-            then
-              List.iter
-                (fun b ->
-                  if usable b then
-                    Vod_graph.Bipartite.add_edge instance ~left:l ~right:b)
-                (cachers candidate))
-          (recent_for t req.stripe))
-      requests;
+    (* one row's edges, identical on the scratch and delta paths: the
+       static replicas plus the cache window, filtered by [usable] (a
+       repair transfer must copy from a peer: the destination box never
+       serves itself) *)
+    let emit_row req emit =
+      let usable b = t.online.(b) && (req.kind <> Repair_transfer || b <> req.owner) in
+      Array.iter
+        (fun b -> if usable b then emit b)
+        (Allocation.boxes_of_stripe t.alloc req.stripe);
+      Vec.iter
+        (fun candidate ->
+          if candidate.issued_at < req.issued_at && candidate.progress > req.progress
+          then List.iter (fun b -> if usable b then emit b) (cachers candidate))
+        (recent_for t req.stripe)
+    in
+    let scratch_build () =
+      Vod_graph.Bipartite.reset instance ~n_left ~n_right:n
+        ~right_cap:t.right_cap_scratch;
+      Array.iteri
+        (fun l req ->
+          emit_row req (fun b -> Vod_graph.Bipartite.add_edge instance ~left:l ~right:b))
+        requests
+    in
+    if not t.track_delta then scratch_build ()
+    else if t.all_dirty then scratch_build ()
+    else begin
+      (* map each surviving row to its row in the previous instance.
+         Activation appends and every filter preserves order, so the
+         survivors keep their relative order and a single two-pointer
+         scan (on physical request identity) recovers the mapping; a
+         request activated this round is new by construction. *)
+      let prev = t.prev_requests in
+      let n_prev = Array.length prev in
+      let src =
+        if Array.length t.src_buf >= n_left then t.src_buf
+        else Array.make (max (2 * n_left) 64) 0
+      in
+      t.src_buf <- src;
+      let dirty = ref 0 in
+      let p = ref 0 in
+      for l = 0 to n_left - 1 do
+        let req = requests.(l) in
+        let s =
+          if req.issued_at = time then -1
+          else begin
+            while !p < n_prev && not (prev.(!p) == req) do
+              incr p
+            done;
+            if !p >= n_prev then -1
+            else begin
+              let s = !p in
+              incr p;
+              (* a repair row's own progress relation against the cache
+                 window shifts every round, so it is never blitted *)
+              if
+                req.kind = Repair_transfer
+                || Hashtbl.mem t.touched req.stripe
+                || stripe_frozen t req.stripe ~time
+              then -1
+              else s
+            end
+          end
+        in
+        src.(l) <- s;
+        if s < 0 then incr dirty
+      done;
+      if 2 * !dirty > n_left then begin
+        Vod_obs.Registry.incr obs_delta_fallbacks;
+        scratch_build ()
+      end
+      else begin
+        Vod_obs.Registry.incr obs_delta_builds;
+        Vod_obs.Registry.add obs_delta_rows !dirty;
+        Vod_graph.Bipartite.delta_rebuild instance ~n_left
+          ~right_cap:t.right_cap_scratch
+          ~src_of:(fun l -> src.(l))
+          ~fill:(fun l emit -> emit_row requests.(l) emit)
+      end
+    end;
+    if t.track_delta then begin
+      t.prev_requests <- requests;
+      Hashtbl.reset t.touched;
+      t.all_dirty <- false
+    end;
     t.last_instance <- Some instance;
     (requests, instance)
   in
@@ -613,15 +749,33 @@ let step t =
   let incremental_warm () =
     Array.map (fun req -> req.last_server) requests
   in
+  (* Component-sharded parallel solve: the previous round's servers
+     carry over as warm-start hints exactly like the incremental path;
+     the merged result is bit-identical for any jobs or shard count
+     (see Shard's determinism contract). *)
+  let solve_sharded sh =
+    let size =
+      Vod_graph.Shard.solve ~jobs:t.jobs ~warm_start:(incremental_warm ()) sh
+        (Vod_graph.Bipartite.csr instance)
+    in
+    {
+      Vod_graph.Bipartite.matched = size;
+      assignment = Array.sub (Vod_graph.Shard.assignment sh) 0 n_left;
+      right_load = Array.sub (Vod_graph.Shard.right_load sh) 0 n;
+    }
+  in
   let outcome =
     Vod_obs.Span.with_ ~name:"matching" @@ fun () ->
     match t.scheduler with
     | Arbitrary -> (
-        match t.inc_state with
-        | Some st ->
-            Vod_graph.Bipartite.solve_incremental st ~arena:t.arena
-              ~warm_start:(incremental_warm ()) instance
-        | None -> Vod_graph.Bipartite.solve ~arena:t.arena instance)
+        match t.shard with
+        | Some sh -> solve_sharded sh
+        | None -> (
+            match t.inc_state with
+            | Some st ->
+                Vod_graph.Bipartite.solve_incremental st ~arena:t.arena
+                  ~warm_start:(incremental_warm ()) instance
+            | None -> Vod_graph.Bipartite.solve ~arena:t.arena instance))
     | Prefer_cache ->
         (* serving from a static replica costs 1, from a cache 0: among
            maximum matchings, minimise the load on the allocation *)
@@ -632,21 +786,28 @@ let step t =
         in
         Vod_graph.Bipartite.solve_min_cost instance ~edge_cost:cost
     | Sticky -> (
-        match t.inc_state with
-        | Some st ->
+        match t.shard with
+        | Some sh ->
+            (* the warm start preserves every still-valid seat, the same
+               churn-minimising approximation the incremental path uses *)
+            solve_sharded sh
+        | None -> (
+            match t.inc_state with
+            | Some st ->
             (* warm-start repair preserves every still-valid seat and
                rewires only along repair augmenting paths — the
                incremental analogue of the min-churn objective, at a
                fraction of the min-cost-flow price *)
-            Vod_graph.Bipartite.solve_incremental st ~arena:t.arena
-              ~warm_start:(incremental_warm ()) instance
-        | None ->
-            (* keeping last round's connection costs 0, rewiring costs 1:
-               among maximum matchings, minimise connection churn *)
-            let cost ~left ~right =
-              if requests.(left).last_server = right then 0 else 1
-            in
-            Vod_graph.Bipartite.solve_min_cost instance ~edge_cost:cost)
+                Vod_graph.Bipartite.solve_incremental st ~arena:t.arena
+                  ~warm_start:(incremental_warm ()) instance
+            | None ->
+                (* keeping last round's connection costs 0, rewiring
+                   costs 1: among maximum matchings, minimise connection
+                   churn *)
+                let cost ~left ~right =
+                  if requests.(left).last_server = right then 0 else 1
+                in
+                Vod_graph.Bipartite.solve_min_cost instance ~edge_cost:cost))
     | Greedy_proposals rounds ->
         (* no global view: persistent connections carry over, then boxes
            negotiate locally for a few rounds for the rest *)
@@ -690,7 +851,10 @@ let step t =
           in
           if dropped then begin
             incr faulted;
-            Vod_obs.Registry.incr obs_link_failures
+            Vod_obs.Registry.incr obs_link_failures;
+            (* the stall desynchronises this request's progress from its
+               stripe's cache window: those rows must be refilled *)
+            if t.track_delta then Hashtbl.replace t.touched req.stripe ()
           end
           else begin
             if is_repair then incr repair_served else incr user_served;
@@ -719,7 +883,11 @@ let step t =
                  maintenance controller at the next drain *)
               Vec.push t.completed_repairs (req.stripe, req.owner)
           end
-        end)
+        end
+        else if t.track_delta then
+          (* unmatched: the stall shifts this request's progress
+             relative to every peer in its stripe's cache window *)
+          Hashtbl.replace t.touched req.stripe ())
       requests;
     let unserved = !user_active - !user_served in
     Vod_obs.Registry.add obs_unserved unserved;

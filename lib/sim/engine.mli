@@ -102,6 +102,21 @@ type matching_engine =
           the min-churn objective without a min-cost flow.  The other
           schedulers optimise global objectives that need a fresh
           min-cost solve and ignore this knob. *)
+  | Sharded
+      (** Component-sharded parallel matching ({!Vod_graph.Shard}): the
+          round's instance is partitioned along its connected components
+          (independent swarms never share an augmenting path), shards
+          are solved concurrently over [jobs] workers with the previous
+          round's servers as warm-start hints, and the instance itself
+          is rebuilt {e incrementally} — rows untouched by churn are
+          blitted from the previous round's CSR view, so per-round build
+          cost scales with the delta, not with [n].  Output is
+          bit-identical for any [jobs] or shard count, and served counts
+          equal [Scratch]'s (all maximum matchings).  Honoured by
+          [Arbitrary] and [Sticky] (the warm start preserves still-valid
+          connections, as [Incremental] does); other schedulers need a
+          global min-cost solve and ignore this knob, though they still
+          benefit from the delta builds. *)
 
 type round_report = {
   time : int;
@@ -157,6 +172,8 @@ val create :
   ?preloading:bool ->
   ?scheduler:scheduler ->
   ?matching:matching_engine ->
+  ?jobs:int ->
+  ?max_shards:int ->
   ?topology:Topology.t ->
   unit ->
   t
@@ -166,9 +183,14 @@ val create :
     paper's Lemma 2 analysis rules out, kept as an ablation.
     A [topology] enables cross-group traffic accounting and the
     [Prefer_local] scheduler.  [matching] (default [Scratch]) selects
-    the per-round matching engine; see {!matching_engine}.
+    the per-round matching engine; see {!matching_engine}.  [jobs]
+    (default 1) is the worker count for the [Sharded] engine's parallel
+    shard solves — it never affects results, only wall-clock time —
+    and [max_shards] (default 64) its shard-count bound, a property of
+    the run, not of the machine, forwarded to {!Vod_graph.Shard.create}.
     @raise Invalid_argument when fleet size, allocation, topology and
-    params disagree, or [Prefer_local] is chosen without a topology. *)
+    params disagree, [Prefer_local] is chosen without a topology, or
+    [jobs < 1]. *)
 
 val params : t -> Params.t
 val fleet : t -> Box.t array

@@ -458,6 +458,57 @@ let test_network_clear_reuse () =
       ignore (Flow_network.create ~arc_hint:(-1) 2))
 
 (* ------------------------------------------------------------------ *)
+(* Component sharding and delta-CSR rebuilds                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_shard_two_components () =
+  (* two disjoint components {l0,l1}x{r0} and {l2}x{r2}; r1 isolated *)
+  let b = Bipartite.create ~n_left:3 ~n_right:3 ~right_cap:[| 2; 1; 1 |] in
+  Bipartite.add_edge b ~left:0 ~right:0;
+  Bipartite.add_edge b ~left:1 ~right:0;
+  Bipartite.add_edge b ~left:2 ~right:2;
+  let sh = Shard.create () in
+  Shard.partition sh (Bipartite.csr b);
+  checki "components" 2 (Shard.n_components sh);
+  checki "shards" 2 (Shard.n_shards sh);
+  let cl = Shard.component_of_left sh and cr = Shard.component_of_right sh in
+  checki "l0 and l1 share a component" cl.(0) cl.(1);
+  checki "r0 rides with l0" cl.(0) cr.(0);
+  checki "isolated right unlabelled" (-1) cr.(1);
+  checkb "components distinct" true (cl.(0) <> cl.(2));
+  checki "matched across shards" 3 (Shard.solve sh (Bipartite.csr b));
+  checki "l2 seated on its own component" 2 (Shard.assignment sh).(2);
+  checki "r0 carries two seats" 2 (Shard.right_load sh).(0);
+  Alcotest.check_raises "max_shards validated"
+    (Invalid_argument "Shard.create: max_shards < 1") (fun () ->
+      ignore (Shard.create ~max_shards:0 ()));
+  Alcotest.check_raises "warm_start length validated"
+    (Invalid_argument "Shard.solve: warm_start too short") (fun () ->
+      ignore (Shard.solve ~warm_start:[| 0 |] sh (Bipartite.csr b)))
+
+let test_delta_rebuild_freezes () =
+  let b = Bipartite.create ~n_left:2 ~n_right:2 ~right_cap:[| 1; 1 |] in
+  Bipartite.add_edge b ~left:0 ~right:0;
+  Bipartite.add_edge b ~left:1 ~right:1;
+  (* keep row 0, rewrite row 1 with duplicates the rebuild must dedup *)
+  Bipartite.delta_rebuild b ~n_left:2 ~right_cap:[| 1; 1 |]
+    ~src_of:(fun l -> if l = 0 then 0 else -1)
+    ~fill:(fun _ emit ->
+      emit 1;
+      emit 0;
+      emit 1);
+  checkb "delta view" true
+    (Csr.to_adjacency (Bipartite.csr b) = [| [| 0 |]; [| 0; 1 |] |]);
+  checki "delta solve" 2 (Bipartite.solve b).Bipartite.matched;
+  Alcotest.check_raises "frozen after rebuild"
+    (Invalid_argument "Csr.add_edge: instance is frozen after rebuild_rows (reset it first)")
+    (fun () -> Bipartite.add_edge b ~left:0 ~right:1);
+  (* reset thaws the instance for ordinary incremental building *)
+  Bipartite.reset b ~n_left:1 ~n_right:2 ~right_cap:[| 1; 1 |];
+  Bipartite.add_edge b ~left:0 ~right:1;
+  checki "reset thaws" 1 (Bipartite.solve b).Bipartite.matched
+
+(* ------------------------------------------------------------------ *)
 (* QCheck properties                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -574,6 +625,148 @@ let qcheck_cases =
             Bipartite.Push_relabel_flow;
             Bipartite.Hopcroft_karp_matching;
           ]);
+    Test.make ~name:"component labelling partitions the pending edge set" ~count:150 arb
+      (fun (seed, n_left, n_right) ->
+        let g = Prng.create ~seed () in
+        let adj, right_cap = random_bipartite g ~n_left ~n_right ~max_cap:3 ~edge_prob:0.4 in
+        let b = Bipartite.create ~n_left ~n_right ~right_cap in
+        Array.iteri
+          (fun l rs -> Array.iter (fun r -> Bipartite.add_edge b ~left:l ~right:r) rs)
+          adj;
+        let csr = Bipartite.csr b in
+        let sh = Shard.create ~max_shards:4 () in
+        Shard.partition sh csr;
+        let cl = Shard.component_of_left sh and cr = Shard.component_of_right sh in
+        let global = Csr.to_adjacency csr in
+        (* every edge joins identically-labelled endpoints *)
+        let endpoints_ok = ref true in
+        Array.iteri
+          (fun l rs ->
+            Array.iter
+              (fun r -> if cl.(l) < 0 || cl.(l) <> cr.(r) then endpoints_ok := false)
+              rs)
+          global;
+        (* the shard edge sets, mapped back to global ids, recover every
+           pending edge exactly once and nothing else *)
+        let seen = Hashtbl.create 64 in
+        let owner_l = Array.make n_left 0 and owner_r = Array.make n_right 0 in
+        for i = 0 to Shard.n_shards sh - 1 do
+          let local = Shard.shard_csr sh i in
+          let lefts = Shard.shard_lefts sh i and rights = Shard.shard_rights sh i in
+          for ll = 0 to Csr.n_left local - 1 do
+            owner_l.(lefts.(ll)) <- owner_l.(lefts.(ll)) + 1
+          done;
+          for rr = 0 to Csr.n_right local - 1 do
+            owner_r.(rights.(rr)) <- owner_r.(rights.(rr)) + 1
+          done;
+          Array.iteri
+            (fun ll rs ->
+              Array.iter
+                (fun rr ->
+                  let key = (lefts.(ll), rights.(rr)) in
+                  let prior = try Hashtbl.find seen key with Not_found -> 0 in
+                  Hashtbl.replace seen key (prior + 1))
+                rs)
+            (Csr.to_adjacency local)
+        done;
+        let covered = ref true in
+        Array.iteri
+          (fun l rs ->
+            Array.iter
+              (fun r ->
+                if (try Hashtbl.find seen (l, r) with Not_found -> 0) <> 1 then
+                  covered := false)
+              rs)
+          global;
+        let n_edges = Array.fold_left (fun a rs -> a + Array.length rs) 0 global in
+        (* engaged vertices sit in exactly one shard; isolated ones in none *)
+        let placed_once owner comp =
+          let ok = ref true in
+          Array.iteri
+            (fun v c ->
+              let want = if comp.(v) >= 0 then 1 else 0 in
+              if c <> want then ok := false)
+            owner;
+          !ok
+        in
+        !endpoints_ok && !covered
+        && Hashtbl.length seen = n_edges
+        && placed_once owner_l cl && placed_once owner_r cr);
+    Test.make ~name:"merged sharded matching is identical to hopcroft-karp" ~count:100 arb
+      (fun (seed, n_left, n_right) ->
+        let g = Prng.create ~seed () in
+        let adj, right_cap = random_bipartite g ~n_left ~n_right ~max_cap:3 ~edge_prob:0.5 in
+        let b = Bipartite.create ~n_left ~n_right ~right_cap in
+        Array.iteri
+          (fun l rs -> Array.iter (fun r -> Bipartite.add_edge b ~left:l ~right:r) rs)
+          adj;
+        let hk = Bipartite.solve ~algorithm:Bipartite.Hopcroft_karp_matching b in
+        (* shard composition is a function of (instance, max_shards) and
+           the merge is order-fixed, so any jobs/shard setting must
+           reproduce HK bit for bit, not merely its cardinality *)
+        List.for_all
+          (fun (jobs, max_shards) ->
+            let sh = Shard.create ~max_shards () in
+            let size = Shard.solve ~jobs sh (Bipartite.csr b) in
+            size = hk.Bipartite.matched
+            && Array.sub (Shard.assignment sh) 0 n_left = hk.Bipartite.assignment
+            && Array.sub (Shard.right_load sh) 0 n_right = hk.Bipartite.right_load)
+          [ (1, 1); (1, 4); (2, 4); (4, 64) ]);
+    Test.make ~name:"delta rebuilds track scratch builds under churn" ~count:60 arb
+      (fun (seed, n_left, n_right) ->
+        let g = Prng.create ~seed () in
+        let random_row () =
+          (* raw neighbour list, duplicates allowed: the rebuild dedups *)
+          let picks = ref [] in
+          for r = 0 to n_right - 1 do
+            if Prng.float g 1.0 < 0.4 then begin
+              picks := r :: !picks;
+              if Prng.float g 1.0 < 0.2 then picks := r :: !picks
+            end
+          done;
+          Array.of_list !picks
+        in
+        let right_cap = Array.init n_right (fun _ -> Prng.int g 3) in
+        let rows = ref (Array.init n_left (fun _ -> random_row ())) in
+        let load bip =
+          Array.iteri
+            (fun l rs -> Array.iter (fun r -> Bipartite.add_edge bip ~left:l ~right:r) rs)
+            !rows
+        in
+        let delta = Bipartite.create ~n_left ~n_right ~right_cap in
+        load delta;
+        let scratch = Bipartite.create ~n_left ~n_right ~right_cap in
+        load scratch;
+        let ok = ref true in
+        for _ = 1 to 5 do
+          (* churn: drop some rows, rewrite some survivors, append a few *)
+          let survivors =
+            Array.to_list (Array.mapi (fun i row -> (i, row)) !rows)
+            |> List.filter (fun _ -> Prng.float g 1.0 < 0.8)
+          in
+          let next =
+            List.map
+              (fun (src, row) ->
+                if Prng.float g 1.0 < 0.3 then (-1, random_row ()) else (src, row))
+              survivors
+            @ List.init (Prng.int g 3) (fun _ -> (-1, random_row ()))
+          in
+          let src = Array.of_list (List.map fst next) in
+          rows := Array.of_list (List.map snd next);
+          let n_left' = Array.length !rows in
+          Bipartite.delta_rebuild delta ~n_left:n_left' ~right_cap
+            ~src_of:(fun l -> src.(l))
+            ~fill:(fun l emit -> Array.iter emit !rows.(l));
+          Bipartite.reset scratch ~n_left:n_left' ~n_right ~right_cap;
+          load scratch;
+          if
+            Csr.to_adjacency (Bipartite.csr delta)
+            <> Csr.to_adjacency (Bipartite.csr scratch)
+            || outcome_triple (Bipartite.solve delta)
+               <> outcome_triple (Bipartite.solve scratch)
+          then ok := false
+        done;
+        !ok);
     Test.make ~name:"max flow is invariant under solver choice" ~count:100
       (make
          Gen.(
@@ -642,6 +835,11 @@ let suites =
         Alcotest.test_case "arena reuse deterministic" `Quick test_arena_reuse_deterministic;
         Alcotest.test_case "bipartite reset reuse" `Quick test_bipartite_reset_reuse;
         Alcotest.test_case "network clear + arc_hint" `Quick test_network_clear_reuse;
+      ] );
+    ( "graph.shard",
+      [
+        Alcotest.test_case "two components" `Quick test_shard_two_components;
+        Alcotest.test_case "delta rebuild freezes" `Quick test_delta_rebuild_freezes;
       ] );
     ("graph.properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
   ]
