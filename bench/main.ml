@@ -15,7 +15,10 @@
    Skip experiments:    dune exec bench/main.exe -- --quick
    Emit bench records:  dune exec bench/main.exe -- --json BENCH_matching.json
    Observability:       dune exec bench/main.exe -- --obs  (record spans/metrics
-                        around the matching bench and print the summary) *)
+                        around the matching bench and print the summary)
+   Overhead gate:       dune exec bench/main.exe -- --obs-gate BASE  (only the
+                        telemetry on/off pair; writes BASE_off.json and
+                        BASE_on.json for bench/compare.exe — see bench_obs.ml) *)
 
 open Vod
 
@@ -107,20 +110,30 @@ let micro_benchmarks () =
       | _ -> Printf.printf "%-42s (no estimate)\n" name)
     results
 
-let json_path () =
+let flag_arg name =
   let path = ref None in
   Array.iteri
     (fun i a ->
-      if a = "--json" then
+      if a = name then
         if i + 1 < Array.length Sys.argv then path := Some Sys.argv.(i + 1)
         else begin
-          prerr_endline "--json requires a PATH argument";
+          prerr_endline (name ^ " requires a PATH argument");
           exit 2
         end)
     Sys.argv;
   !path
 
+let json_path () = flag_arg "--json"
+
 let () =
+  (* --obs-gate BASE: run only the telemetry-overhead pair (see
+     bench_obs.ml) — the CI obs-overhead step, which has no use for the
+     experiment tables or micro-benches. *)
+  (match flag_arg "--obs-gate" with
+  | Some base ->
+      Bench_obs.run_gate ~base;
+      exit 0
+  | None -> ());
   let no_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
   let obs = Array.exists (fun a -> a = "--obs") Sys.argv in

@@ -7,8 +7,14 @@
      attack    drive an adversarial generator and report the outcome
      sweep     threshold sweep over the upload capacity u
      chaos     run a fault-injection scenario with self-healing repair
+               (--slo-out writes the vod-slo/1 burn-rate verdict stream,
+               --obs-out/--obs-summary capture per-replication traces)
      battery   run a scenario battery into a ranked KPI scorecard
-     obs-report  validate and summarise a vod-obs JSONL trace          *)
+               (--obs-out/--obs-summary capture per-cell traces)
+     obs-report  validate, summarise or flamegraph-fold (--flame) a
+               vod-obs JSONL trace
+     top       live dashboard over a simulate workload or chaos
+               scenario: sparklines, SLO burn states, repair backlog  *)
 
 open Cmdliner
 
@@ -97,6 +103,31 @@ let build_system ~n ~u ~d ~c ~k ~m ~mu ~duration ~seed ~scheme =
     | Vod.System.Full_replication -> Vod.Schemes.full_replication ~fleet ~catalog
   in
   (params, fleet, alloc)
+
+(* [suffixed "a/b.jsonl" ".rep2"] = "a/b.rep2.jsonl": the per-replication
+   (or per-cell) trace naming of chaos/battery --obs-out. *)
+let suffixed path tag =
+  let dir = Filename.dirname path and base = Filename.basename path in
+  let with_tag =
+    match Filename.extension base with
+    | "" -> base ^ tag
+    | ext -> Filename.remove_extension base ^ tag ^ ext
+  in
+  if dir = "." && not (String.length path > 1 && path.[0] = '.' && path.[1] = '/') then with_tag
+  else Filename.concat dir with_tag
+
+(* Span recording goes through a process-global sink, so runs being
+   traced must not share the process with concurrent runs: callers
+   force their replications/cells sequential and say so when --jobs
+   asked for more. *)
+let warn_obs_sequential jobs =
+  match jobs with
+  | Some j when j > 1 ->
+      Printf.eprintf
+        "note: span recording is process-global; running sequentially despite --jobs %d \
+         (the output bytes do not depend on --jobs)\n"
+        j
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* bounds                                                              *)
@@ -778,7 +809,7 @@ let check_cmd =
 (* ------------------------------------------------------------------ *)
 
 let chaos_cmd =
-  let run path rounds seed replications jobs out =
+  let run path rounds seed replications jobs out slo_out obs_out obs_summary =
     if replications < 1 then `Error (false, "need at least 1 replication")
     else
       match Vod.Fault.Scenario.load ~path with
@@ -789,8 +820,55 @@ let chaos_cmd =
             | Some seed -> { scenario with Vod.Fault.Scenario.seed }
             | None -> scenario
           in
+          let obs_on = obs_out <> None || obs_summary in
+          let obs_traces = ref [] in
           let result =
-            if replications = 1 then
+            if obs_on then begin
+              (* per-replication recorder, sequential (see
+                 warn_obs_sequential); seeds match run_many's formula so
+                 the verdict streams are the ones a plain run emits *)
+              warn_obs_sequential jobs;
+              match Vod.Fault.Chaos.validate scenario with
+              | Error _ as err -> err
+              | Ok () ->
+                  let rec go i acc =
+                    if i = replications then Ok (List.rev acc)
+                    else begin
+                      Vod.Obs.Registry.reset Vod.Obs.Registry.default;
+                      let r = Vod.Obs.Span.create_recorder () in
+                      Vod.Obs.Span.install r;
+                      let res =
+                        Vod.Fault.Chaos.run ?rounds
+                          ~seed:(scenario.Vod.Fault.Scenario.seed + (1000 * i))
+                          scenario
+                      in
+                      Vod.Obs.Span.uninstall ();
+                      match res with
+                      | Error _ as err -> err
+                      | Ok o ->
+                          (match obs_out with
+                          | None -> ()
+                          | Some base ->
+                              let p =
+                                if replications = 1 then base
+                                else suffixed base (Printf.sprintf ".rep%d" i)
+                              in
+                              Vod.Obs.Export.save ~registry:Vod.Obs.Registry.default r
+                                ~path:p;
+                              Printf.eprintf "observability trace (rep %d) written to %s\n"
+                                i p);
+                          if obs_summary then
+                            obs_traces :=
+                              ( i,
+                                Vod.Obs.Report.of_recorder
+                                  ~registry:Vod.Obs.Registry.default r )
+                              :: !obs_traces;
+                          go (i + 1) (o :: acc)
+                    end
+                  in
+                  go 0 []
+            end
+            else if replications = 1 then
               Result.map (fun o -> [ o ]) (Vod.Fault.Chaos.run ?rounds scenario)
             else Vod.Fault.Chaos.run_many ?rounds ?jobs ~replications scenario
           in
@@ -809,6 +887,23 @@ let chaos_cmd =
                   Out_channel.with_open_text path (fun oc ->
                       Out_channel.output_string oc jsonl);
                   Printf.eprintf "chaos verdict stream written to %s\n" path);
+              (match slo_out with
+              | None -> ()
+              | Some path ->
+                  (* vod-slo/1, replications concatenated in order: the
+                     same byte-identity contract as the chaos stream *)
+                  let slo =
+                    String.concat ""
+                      (List.map (fun o -> o.Vod.Fault.Chaos.slo_jsonl) outcomes)
+                  in
+                  Out_channel.with_open_text path (fun oc ->
+                      Out_channel.output_string oc slo);
+                  Printf.eprintf "SLO verdict stream written to %s\n" path);
+              List.iter
+                (fun (i, trace) ->
+                  Printf.printf "--- observability summary: replication %d ---\n" i;
+                  Vod.Obs.Report.print_summary trace)
+                (List.rev !obs_traces);
               List.iteri
                 (fun i o ->
                   Printf.eprintf
@@ -877,6 +972,35 @@ let chaos_cmd =
       & info [ "out" ] ~docv:"FILE"
           ~doc:"Write the JSONL verdict stream to FILE instead of stdout.")
   in
+  let slo_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slo-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the vod-slo/1 burn-rate stream (SLOs compiled from the scenario's \
+             kpi budgets) to FILE; byte-identical at any --jobs, like the chaos \
+             stream.")
+  in
+  let obs_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-out" ] ~docv:"FILE"
+          ~doc:
+            "Record an observability trace per replication and write it to FILE \
+             (replication $(i,i) goes to FILE with a .rep$(i,i) suffix when there are \
+             several, so parallel runs never interleave writes); forces sequential \
+             replications.")
+  in
+  let obs_summary_arg =
+    Arg.(
+      value & flag
+      & info [ "obs-summary" ]
+          ~doc:
+            "Record observability traces and print a per-phase timing table per \
+             replication after the verdict stream; forces sequential replications.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -886,14 +1010,14 @@ let chaos_cmd =
     Term.(
       ret
         (const run $ scenario_arg $ chaos_rounds_arg $ chaos_seed_arg $ replications_arg
-       $ jobs_arg $ out_arg))
+       $ jobs_arg $ out_arg $ slo_out_arg $ obs_out_arg $ obs_summary_arg))
 
 (* ------------------------------------------------------------------ *)
 (* battery                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let battery_cmd =
-  let run paths configs jobs out =
+  let run paths configs jobs out obs_out obs_summary =
     let collect path =
       if Sys.is_directory path then
         Sys.readdir path |> Array.to_list
@@ -927,7 +1051,40 @@ let battery_cmd =
         match (load_all [] files, parse_configs [] config_names) with
         | Error e, _ | _, Error e -> `Error (false, e)
         | Ok scenarios, Ok configs -> (
-            match Vod.Battery.Battery.run ?jobs ~configs scenarios with
+            let obs_on = obs_out <> None || obs_summary in
+            let obs_traces = ref [] in
+            let wrap_cell =
+              if not obs_on then None
+              else begin
+                (* per-cell recorder; Battery.run goes sequential when a
+                   wrapper is present, so trace files never interleave *)
+                warn_obs_sequential jobs;
+                Some
+                  (fun ~scenario ~config thunk ->
+                    Vod.Obs.Registry.reset Vod.Obs.Registry.default;
+                    let r = Vod.Obs.Span.create_recorder () in
+                    Vod.Obs.Span.install r;
+                    let cell = thunk () in
+                    Vod.Obs.Span.uninstall ();
+                    let label =
+                      Printf.sprintf "%s.%s" scenario.Vod.Fault.Scenario.name
+                        config.Vod.Fault.Chaos.label
+                    in
+                    (match obs_out with
+                    | None -> ()
+                    | Some base ->
+                        let p = suffixed base ("." ^ label) in
+                        Vod.Obs.Export.save ~registry:Vod.Obs.Registry.default r ~path:p;
+                        Printf.eprintf "observability trace (%s) written to %s\n" label p);
+                    if obs_summary then
+                      obs_traces :=
+                        ( label,
+                          Vod.Obs.Report.of_recorder ~registry:Vod.Obs.Registry.default r )
+                        :: !obs_traces;
+                    cell)
+              end
+            in
+            match Vod.Battery.Battery.run ?jobs ?wrap_cell ~configs scenarios with
             | Error e -> `Error (false, e)
             | Ok report ->
                 (* scorecard (machine-readable) on stdout or --out; the
@@ -939,6 +1096,11 @@ let battery_cmd =
                     Out_channel.with_open_text path (fun oc ->
                         Out_channel.output_string oc report.Vod.Battery.Battery.jsonl);
                     Printf.eprintf "scorecard written to %s\n" path);
+                List.iter
+                  (fun (label, trace) ->
+                    Printf.printf "--- observability summary: %s ---\n" label;
+                    Vod.Obs.Report.print_summary trace)
+                  (List.rev !obs_traces);
                 prerr_string report.Vod.Battery.Battery.table;
                 if Vod.Battery.Battery.ok report then `Ok ()
                 else
@@ -979,23 +1141,58 @@ let battery_cmd =
       & info [ "out" ] ~docv:"FILE"
           ~doc:"Write the vod-scorecard/1 JSONL to FILE instead of stdout.")
   in
+  let obs_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-out" ] ~docv:"FILE"
+          ~doc:
+            "Record an observability trace per cell and write it to FILE with a \
+             .$(i,scenario).$(i,config) suffix (one file per cell, so nothing \
+             interleaves); forces sequential cells.")
+  in
+  let obs_summary_arg =
+    Arg.(
+      value & flag
+      & info [ "obs-summary" ]
+          ~doc:
+            "Record observability traces and print a per-phase timing table per cell \
+             after the scorecard; forces sequential cells.")
+  in
   Cmd.v
     (Cmd.info "battery"
        ~doc:
          "Run a scenario battery: every (scenario x engine config) cell through the \
           chaos runner, ranked into a deterministic KPI scorecard (exit 0 iff no cell \
           breaches its declared KPI budgets).")
-    Term.(ret (const run $ paths_arg $ configs_arg $ jobs_arg $ out_arg))
+    Term.(
+      ret
+        (const run $ paths_arg $ configs_arg $ jobs_arg $ out_arg $ obs_out_arg
+       $ obs_summary_arg))
 
 (* ------------------------------------------------------------------ *)
 (* obs-report                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let obs_report_cmd =
-  let run path validate =
+  let run path validate flame =
     match Vod.Obs.Report.load ~path with
     | Error e -> `Error (false, Printf.sprintf "%s: %s" path e)
+    | Ok trace when flame ->
+        (* collapsed stacks only: pipe into flamegraph.pl / speedscope *)
+        if trace.Vod.Obs.Report.dropped > 0 then
+          Printf.eprintf
+            "warning: %d spans were evicted from the ring; the flamegraph undercounts\n"
+            trace.Vod.Obs.Report.dropped;
+        print_string (Vod.Obs.Flame.folded trace.Vod.Obs.Report.spans);
+        `Ok ()
     | Ok trace -> (
+        (* eviction is lossy but structurally legal: warn, never fail *)
+        if trace.Vod.Obs.Report.dropped > 0 then
+          Printf.eprintf
+            "warning: %d spans were evicted from the ring (capacity overflow); the \
+             trace is truncated\n"
+            trace.Vod.Obs.Report.dropped;
         match Vod.Obs.Report.validate trace with
         | Error e when validate -> `Error (false, Printf.sprintf "%s: INVALID: %s" path e)
         | verdict ->
@@ -1024,13 +1221,217 @@ let obs_report_cmd =
       value & flag
       & info [ "validate" ]
           ~doc:"Check the trace's structural invariants (unique span ids, stop >= \
-                start, parent containment, histogram totals) and fail on violation.")
+                start, parent containment, histogram totals) and fail on violation.  \
+                Ring eviction (nonzero dropped_spans) only warns: a truncated trace \
+                is lossy, not broken.")
+  in
+  let flame_arg =
+    Arg.(
+      value & flag
+      & info [ "flame" ]
+          ~doc:"Print the trace's spans as collapsed stacks (one \
+                $(b,stack self_ns) line per stack, flamegraph.pl/speedscope input) \
+                instead of the summary.")
   in
   Cmd.v
     (Cmd.info "obs-report"
        ~doc:"Validate and summarise an observability trace (JSONL from simulate \
-             --obs-out): per-phase timing table, counters, histograms.")
-    Term.(ret (const run $ file_arg $ validate_arg))
+             --obs-out): per-phase timing table, counters, histograms, or collapsed \
+             flamegraph stacks with --flame.")
+    Term.(ret (const run $ file_arg $ validate_arg $ flame_arg))
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let top_cmd =
+  let module Ts = Vod.Obs.Timeseries in
+  let module Slo = Vod.Obs.Slo in
+  let spark_width = 48 in
+  let stat_window = 100 in
+  let render ~title ~round ~total ~ts ~series_list ~slos ~footer =
+    let b = Buffer.create 2048 in
+    let rule = String.make 78 '-' ^ "\n" in
+    Buffer.add_string b (Printf.sprintf "%s  round %d/%d\n" title round total);
+    Buffer.add_string b rule;
+    Buffer.add_string b
+      (Printf.sprintf "%-14s %7s  %10s  %8s  %7s  last %d rounds\n" "series" "last"
+         "w100 mean" "w100 p95" "max" spark_width);
+    List.iter
+      (fun name ->
+        let s = Ts.series ts name in
+        Buffer.add_string b
+          (Printf.sprintf "%-14s %7d  %10.1f  %8.0f  %7d  %s\n" name (Ts.last s)
+             (Ts.window_mean s ~window:stat_window)
+             (Ts.window_percentile s ~window:stat_window 95.0)
+             (Ts.window_max s ~window:stat_window)
+             (Vod.Obs.Dash.sparkline (Ts.recent s spark_width))))
+      series_list;
+    if slos <> [] then begin
+      Buffer.add_string b rule;
+      List.iter
+        (fun ev ->
+          let sp = Slo.spec_of ev in
+          Buffer.add_string b
+            (Printf.sprintf "slo %-11s %-8s  fast %6.2fx  slow %6.2fx  (target %.4f)\n"
+               sp.Slo.sp_name
+               (Slo.state_name (Slo.state ev))
+               (Slo.burn ev `Fast) (Slo.burn ev `Slow) sp.Slo.sp_target))
+        slos
+    end;
+    if footer <> [] then begin
+      Buffer.add_string b rule;
+      List.iter (fun l -> Buffer.add_string b (l ^ "\n")) footer
+    end;
+    Buffer.contents b
+  in
+  let run scenario n u d c k m mu duration rounds seed scheme workload rate engine
+      interval =
+    if interval < 1 then `Error (false, "--interval must be >= 1")
+    else begin
+      let tty = Vod.Obs.Dash.isatty () in
+      let first = ref true in
+      (* live redraw only on a terminal; otherwise just the final frame,
+         so redirected output stays a readable snapshot *)
+      let draw ~final frame =
+        if tty then begin
+          Vod.Obs.Dash.display ~tty:true ~first:!first frame;
+          first := false
+        end
+        else if final then Vod.Obs.Dash.display ~tty:false ~first:false frame
+      in
+      match scenario with
+      | Some path -> (
+          (* chaos mode: scenario-defined rounds/seed; the dashboard
+             rides the runner's on_round tick *)
+          match Vod.Fault.Scenario.load ~path with
+          | Error e -> `Error (false, e)
+          | Ok s -> (
+              let names = Vod.Telemetry.series_names @ [ "under"; "in_flight" ] in
+              let ts = Ts.create () in
+              List.iter (fun nm -> ignore (Ts.series ts nm)) names;
+              let total = s.Vod.Fault.Scenario.rounds in
+              let title =
+                Printf.sprintf "vodctl top — chaos %s" s.Vod.Fault.Scenario.name
+              in
+              let last_slos = ref [] and last_footer = ref [] in
+              let on_round (tick : Vod.Fault.Chaos.tick) =
+                List.iter
+                  (fun nm ->
+                    Ts.push (Ts.series ts nm)
+                      (match nm with
+                      | "under" -> tick.Vod.Fault.Chaos.t_under
+                      | "in_flight" -> tick.Vod.Fault.Chaos.t_in_flight
+                      | nm -> Vod.Telemetry.sample tick.Vod.Fault.Chaos.t_report nm))
+                  names;
+                last_slos := tick.Vod.Fault.Chaos.t_slos;
+                last_footer :=
+                  [
+                    Printf.sprintf
+                      "repair: %d in flight, %d under-replicated (%d unrepairable), %d \
+                       installed this round"
+                      tick.Vod.Fault.Chaos.t_in_flight tick.Vod.Fault.Chaos.t_under
+                      tick.Vod.Fault.Chaos.t_unrepairable tick.Vod.Fault.Chaos.t_installs;
+                  ];
+                let round = tick.Vod.Fault.Chaos.t_report.Vod.Engine.time in
+                if round mod interval = 0 then
+                  draw ~final:false
+                    (render ~title ~round ~total ~ts ~series_list:names ~slos:!last_slos
+                       ~footer:!last_footer)
+              in
+              match Vod.Fault.Chaos.run ~on_round s with
+              | Error e -> `Error (false, e)
+              | Ok o ->
+                  let verdict =
+                    Printf.sprintf "verdict: %s, time to full replication %s, unserved %d"
+                      (if Vod.Fault.Chaos.verdict_ok o then "RECOVERED"
+                       else "NOT RECOVERED")
+                      (match o.Vod.Fault.Chaos.time_to_full_replication with
+                      | -1 -> "never"
+                      | t -> Printf.sprintf "%d rounds" t)
+                      o.Vod.Fault.Chaos.total_unserved
+                  in
+                  draw ~final:true
+                    (render ~title ~round:total ~total ~ts ~series_list:names
+                       ~slos:!last_slos
+                       ~footer:(!last_footer @ [ verdict ]));
+                  `Ok ()))
+      | None -> (
+          (* simulate mode: drive the engine like `simulate`, with the
+             default rejection/startup SLO panel *)
+          try
+            let params, fleet, alloc =
+              build_system ~n ~u ~d ~c ~k ~m ~mu ~duration ~seed ~scheme
+            in
+            let sim =
+              Vod.Engine.create ~params ~fleet ~alloc ~policy:Vod.Engine.Continue
+                ~matching:engine ()
+            in
+            let tele = Vod.Telemetry.create ~slos:(Vod.Telemetry.default_slos ()) () in
+            let title = Printf.sprintf "vodctl top — simulate n=%d" n in
+            let series_list = Vod.Telemetry.series_names in
+            Vod.Engine.set_round_sink sim
+              (Some
+                 (fun report ->
+                   Vod.Telemetry.observe tele sim report;
+                   let round = report.Vod.Engine.time in
+                   if round mod interval = 0 then
+                     draw ~final:false
+                       (render ~title ~round ~total:rounds
+                          ~ts:(Vod.Telemetry.timeseries tele) ~series_list
+                          ~slos:(Vod.Telemetry.slos tele) ~footer:[])));
+            let g = Vod.Prng.create ~seed:(seed + 7) () in
+            let gen =
+              match workload with
+              | `Zipf -> Vod.Generators.zipf_arrivals g ~rate ~s:0.9
+              | `Uniform -> Vod.Generators.uniform_arrivals g ~rate
+              | `Flash -> Vod.Generators.flash_crowd g ~video:0 ~background_rate:rate ()
+            in
+            let reports = Vod.Engine.run sim ~rounds ~demands_for:gen in
+            let total_unserved =
+              List.fold_left (fun acc r -> acc + r.Vod.Engine.unserved) 0 reports
+            in
+            draw ~final:true
+              (render ~title ~round:rounds ~total:rounds
+                 ~ts:(Vod.Telemetry.timeseries tele) ~series_list
+                 ~slos:(Vod.Telemetry.slos tele)
+                 ~footer:
+                   [
+                     (if total_unserved = 0 then "verdict: every request served on time"
+                      else Printf.sprintf "verdict: %d requests went unserved" total_unserved);
+                   ]);
+            `Ok ()
+          with
+          | Invalid_argument e -> `Error (false, e)
+          | Failure e -> `Error (false, e))
+    end
+  in
+  let scenario_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "Optional chaos scenario file: watch a chaos run (scenario rounds/seed) \
+             instead of a plain simulate workload.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "interval" ] ~docv:"R" ~doc:"Redraw the dashboard every R rounds.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live in-terminal dashboard over a run: sparkline time series of the round \
+          reports, current SLO burn states and the repair backlog, redrawn in place \
+          every --interval rounds (plain ANSI, isatty-gated; redirected output gets \
+          the final frame only).")
+    Term.(
+      ret
+        (const run $ scenario_arg $ n_arg $ u_arg $ d_arg $ c_arg $ k_arg $ m_arg
+       $ mu_arg $ duration_arg $ rounds_arg $ seed_arg $ scheme_arg $ workload_arg
+       $ rate_arg $ engine_arg $ interval_arg))
 
 (* ------------------------------------------------------------------ *)
 (* proto                                                               *)
@@ -1104,5 +1505,6 @@ let () =
             chaos_cmd;
             battery_cmd;
             obs_report_cmd;
+            top_cmd;
             proto_cmd;
           ]))

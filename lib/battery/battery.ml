@@ -7,6 +7,7 @@ type cell = {
   config : Chaos.engine_config;
   kpi : Kpi.values;
   breaches : string list;
+  slo : Vod_obs.Slo.summary list;
 }
 
 type report = { cells : cell list; breached : int; jsonl : string; table : string }
@@ -54,11 +55,12 @@ let to_jsonl ~configs ~n_scenarios ~breached ranked =
        (List.map (fun c -> "\"" ^ json_escape c.Chaos.label ^ "\"") configs));
   List.iteri
     (fun i c ->
-      line {|{"type":"cell","rank":%d,"scenario":"%s","config":"%s",%s,"breaches":[%s]}|}
+      line {|{"type":"cell","rank":%d,"scenario":"%s","config":"%s",%s,"breaches":[%s],"slo":[%s]}|}
         (i + 1)
         (json_escape c.scenario.Scenario.name)
         (json_escape c.config.Chaos.label) (Kpi.to_json c.kpi)
-        (String.concat "," (List.map (fun b -> "\"" ^ json_escape b ^ "\"") c.breaches)))
+        (String.concat "," (List.map (fun b -> "\"" ^ json_escape b ^ "\"") c.breaches))
+        (String.concat "," (List.map Vod_obs.Slo.summary_json c.slo)))
     ranked;
   line {|{"type":"summary","cells":%d,"breached":%d,"ok":%b}|} (List.length ranked) breached
     (breached = 0);
@@ -78,7 +80,18 @@ let to_table ranked =
           ("sourcing", Table.Right);
           ("recovered", Table.Left);
           ("breaches", Table.Left);
+          ("slo", Table.Left);
         ]
+  in
+  let slo_cell slos =
+    if slos = [] then "-"
+    else
+      String.concat " "
+        (List.map
+           (fun (su : Vod_obs.Slo.summary) ->
+             Printf.sprintf "%s:%s" su.Vod_obs.Slo.su_name
+               (Vod_obs.Slo.state_name su.Vod_obs.Slo.su_final))
+           slos)
   in
   List.iteri
     (fun i c ->
@@ -94,11 +107,12 @@ let to_table ranked =
           Printf.sprintf "%.4f" c.kpi.Kpi.sourcing_share;
           (if c.kpi.Kpi.recovered then "yes" else "no");
           (if c.breaches = [] then "-" else String.concat "; " c.breaches);
+          slo_cell c.slo;
         ])
     ranked;
   Table.render tbl
 
-let run ?jobs ~configs scenarios =
+let run ?jobs ?wrap_cell ~configs scenarios =
   if configs = [] then Error "battery needs at least one engine config"
   else if scenarios = [] then Error "battery needs at least one scenario"
   else
@@ -118,16 +132,32 @@ let run ?jobs ~configs scenarios =
         let pairs =
           Array.of_list (List.concat_map (fun s -> List.map (fun c -> (s, c)) configs) scenarios)
         in
+        let cell_of i =
+          let s, config = pairs.(i) in
+          match Chaos.run ~config s with
+          | Ok o ->
+              let kpi = Kpi.of_outcome o in
+              {
+                scenario = s;
+                config;
+                kpi;
+                breaches = Kpi.breaches s.Scenario.kpi kpi;
+                slo = o.Chaos.slo;
+              }
+          | Error msg -> failwith msg (* unreachable: validated above *)
+        in
         let cells =
-          Vod_par.Par.map ?jobs
-            ~f:(fun i ->
-              let s, config = pairs.(i) in
-              match Chaos.run ~config s with
-              | Ok o ->
-                  let kpi = Kpi.of_outcome o in
-                  { scenario = s; config; kpi; breaches = Kpi.breaches s.Scenario.kpi kpi }
-              | Error msg -> failwith msg (* unreachable: validated above *))
-            (Array.length pairs)
+          match wrap_cell with
+          | None -> Vod_par.Par.map ?jobs ~f:cell_of (Array.length pairs)
+          | Some wrap ->
+              (* A wrapper (e.g. per-cell span capture, which relies on
+                 the process-global recorder) needs cells one at a time:
+                 run them sequentially in row-major order, ignoring
+                 [jobs].  The scorecard bytes are unaffected either
+                 way. *)
+              Array.init (Array.length pairs) (fun i ->
+                  let s, config = pairs.(i) in
+                  wrap ~scenario:s ~config (fun () -> cell_of i))
         in
         let ranked = List.sort rank_compare (Array.to_list cells) in
         let breached = List.length (List.filter (fun c -> c.breaches <> []) ranked) in

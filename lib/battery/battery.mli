@@ -15,6 +15,12 @@ type cell = {
   config : Vod_fault.Chaos.engine_config;
   kpi : Kpi.values;
   breaches : string list;  (** {!Kpi.breaches} against the scenario's budgets. *)
+  slo : Vod_obs.Slo.summary list;
+      (** Burn summaries of the SLOs the scenario's KPI budgets compile
+          to ({!Vod_fault.Chaos.run}): final state, warning/breach round
+          counts and peak fast/slow burn rates.  Serialised into each
+          scorecard cell's ["slo"] array and shown as a
+          [name:state] column in the table. *)
 }
 
 type report = {
@@ -26,6 +32,11 @@ type report = {
 
 val run :
   ?jobs:int ->
+  ?wrap_cell:
+    (scenario:Vod_fault.Scenario.t ->
+    config:Vod_fault.Chaos.engine_config ->
+    (unit -> cell) ->
+    cell) ->
   configs:Vod_fault.Chaos.engine_config list ->
   Vod_fault.Scenario.t list ->
   (report, string) result
@@ -35,7 +46,14 @@ val run :
     startup p95 and sourcing share, with scenario/config names as the
     final tie-break.  Validates every scenario up front, so [Error]
     (prefixed with the scenario name) is returned, not raised, from
-    workers. *)
+    workers.
+
+    When [wrap_cell] is given, cells run {e sequentially} in row-major
+    (scenario × config) order, each through the wrapper — the hook
+    `vodctl battery --obs-out` uses to give every cell its own span
+    recorder and trace file without interleaved writes ([jobs] is
+    ignored; the scorecard bytes are identical either way).  The
+    wrapper must call the thunk exactly once and return its cell. *)
 
 val ok : report -> bool
 (** True when no cell breached its budgets — the battery's CI verdict. *)

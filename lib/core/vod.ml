@@ -35,6 +35,7 @@ module Repair = Vod_alloc.Repair
 module Engine = Vod_sim.Engine
 module Metrics = Vod_sim.Metrics
 module Trace = Vod_sim.Trace
+module Telemetry = Vod_sim.Telemetry
 
 module Generators = Vod_workload.Generators
 
@@ -73,10 +74,15 @@ module Battery = Vod_battery
 
 module Obs = Vod_obs
 (** The observability subsystem: metrics registry ([Obs.Registry]),
-    span tracing ([Obs.Span]), JSONL export ([Obs.Export]) and trace
-    loading/validation/summaries ([Obs.Report]).  Solvers and the
+    span tracing ([Obs.Span]), JSONL export ([Obs.Export]), trace
+    loading/validation/summaries ([Obs.Report]), streaming per-round
+    time series ([Obs.Timeseries]), multi-window SLO burn rates
+    ([Obs.Slo]), collapsed-stack flamegraph folding ([Obs.Flame]) and
+    terminal dashboard primitives ([Obs.Dash]).  Solvers and the
     engine record into [Obs.Registry.default]; span recording is off
-    until a recorder is installed with [Obs.Span.install]. *)
+    until a recorder is installed with [Obs.Span.install]; the
+    streaming side is fed per round through [Telemetry] /
+    [Engine.set_round_sink]. *)
 
 module Theorem1 = Vod_analysis.Theorem1
 module Theorem2 = Vod_analysis.Theorem2

@@ -3,6 +3,7 @@ open Vod_model
 open Vod_analysis
 module Engine = Vod_sim.Engine
 module Registry = Vod_obs.Registry
+module Slo = Vod_obs.Slo
 
 let obs_crashes = Registry.counter Registry.default "fault.crashes"
 let obs_rejoins = Registry.counter Registry.default "fault.rejoins"
@@ -79,6 +80,17 @@ type outcome = {
   total_faulted : int;
   startup_delays : int array;
   jsonl : string;
+  slo : Slo.summary list;
+  slo_jsonl : string;
+}
+
+type tick = {
+  t_report : Engine.round_report;
+  t_under : int;
+  t_unrepairable : int;
+  t_in_flight : int;
+  t_installs : int;
+  t_slos : Slo.t list;
 }
 
 let json_escape s =
@@ -136,7 +148,44 @@ let prepare (s : Scenario.t) =
 
 let validate s = Result.map (fun _ -> ()) (prepare s)
 
-let run ?rounds ?seed ?(config = default_config) (s : Scenario.t) =
+(* ------------------------------------------------------------------ *)
+(* KPI budgets as SLOs                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A scenario's rate-style KPI budgets compile to burn-rate SLOs over
+   the default 100/1000-round windows:
+
+   - [max-rejection r]      -> "rejection": bad = unserved,
+                               total = served + unserved, target r;
+   - [max-startup-p95 L]    -> "startup": bad = new startups slower
+                               than L rounds, total = new startups,
+                               target 0.05 (the p95 tail budget);
+   - [max-sourcing-share s] -> "sourcing": bad = connections served
+                               from static replicas, total = served,
+                               target s.
+
+   [max-time-to-repair] and [require-recovery] are terminal conditions
+   on the whole run, not per-round rates, so they stay KPI-only.  A
+   budget of 0 (or an out-of-range one) has no meaningful burn rate —
+   any bad event is an instant breach — and is likewise left to the
+   end-of-run KPI check. *)
+
+type slo_metric = Rejection | Startup_over of float | Sourcing
+
+let compiled_slos (s : Scenario.t) =
+  let kpi = s.Scenario.kpi in
+  let specs = ref [] in
+  let add name target metric =
+    if target > 0.0 && target <= 1.0 then specs := (Slo.spec ~name ~target (), metric) :: !specs
+  in
+  (match kpi.Scenario.max_sourcing_share with Some sh -> add "sourcing" sh Sourcing | None -> ());
+  (match kpi.Scenario.max_startup_p95 with
+  | Some l -> add "startup" 0.05 (Startup_over l)
+  | None -> ());
+  (match kpi.Scenario.max_rejection with Some r -> add "rejection" r Rejection | None -> ());
+  !specs
+
+let run ?rounds ?seed ?(config = default_config) ?on_round (s : Scenario.t) =
   match prepare s with
   | Error _ as err -> err
   | Ok (base, fleet, m, topology, helper_ranges) ->
@@ -201,6 +250,50 @@ let run ?rounds ?seed ?(config = default_config) (s : Scenario.t) =
         {|{"type":"meta","version":"vod-chaos/1","scenario":"%s","config":"%s","seed":%d,"rounds":%d,"n":%d,"m":%d,"c":%d,"k":%d,"target_k":%d,"budget":%d,"transfer_rounds":%d}|}
         (json_escape s.name) (json_escape config.label) seed rounds n_total m s.c s.k s.target_k
         s.budget s.transfer_rounds;
+      (* The vod-slo/1 stream shares the chaos determinism contract: it
+         is built from engine reports only, with round-indexed windows
+         and fixed-point floats, so it is byte-identical at any --jobs. *)
+      let slos = List.map (fun (spec, metric) -> (Slo.create spec, metric)) (compiled_slos s) in
+      let slo_buf = Buffer.create 512 in
+      let slo_line str = Buffer.add_string slo_buf (str ^ "\n") in
+      slo_line
+        (Printf.sprintf
+           {|{"type":"meta","version":"vod-slo/1","scenario":"%s","config":"%s","seed":%d,"rounds":%d,"slos":[%s]}|}
+           (json_escape s.name) (json_escape config.label) seed rounds
+           (String.concat "," (List.map (fun (ev, _) -> Slo.spec_json (Slo.spec_of ev)) slos)));
+      let slo_states = ref [] in
+      let startups_seen = ref 0 in
+      let observe_slos (report : Engine.round_report) engine =
+        let startup_count = Engine.startup_count engine in
+        List.iter
+          (fun (ev, metric) ->
+            let bad, total =
+              match metric with
+              | Rejection -> (report.Engine.unserved, report.Engine.served + report.Engine.unserved)
+              | Sourcing ->
+                  (report.Engine.served - report.Engine.served_from_cache, report.Engine.served)
+              | Startup_over limit ->
+                  let bad = ref 0 in
+                  for i = !startups_seen to startup_count - 1 do
+                    if float_of_int (Engine.startup_delay engine i) > limit then incr bad
+                  done;
+                  (!bad, startup_count - !startups_seen)
+            in
+            Slo.observe ev ~bad ~total)
+          slos;
+        startups_seen := startup_count;
+        (* verdict lines on state transitions (and the first round) *)
+        let states = List.map (fun (ev, _) -> Slo.state ev) slos in
+        (match !slo_states with
+        | [] -> List.iter (fun (ev, _) -> slo_line (Slo.verdict_json ev ~round:report.Engine.time)) slos
+        | prev ->
+            List.iteri
+              (fun i (ev, _) ->
+                if List.nth prev i <> List.nth states i then
+                  slo_line (Slo.verdict_json ev ~round:report.Engine.time))
+              slos);
+        slo_states := states
+      in
       let reports = ref [] in
       let full_replication_round = ref (-1) in
       let min_online = ref n_total in
@@ -265,7 +358,20 @@ let run ?rounds ?seed ?(config = default_config) (s : Scenario.t) =
           (List.length repairable + List.length unrepairable)
           (List.length unrepairable)
           (Engine.repair_in_flight engine)
-          installs
+          installs;
+        observe_slos report engine;
+        match on_round with
+        | None -> ()
+        | Some f ->
+            f
+              {
+                t_report = report;
+                t_under = List.length repairable + List.length unrepairable;
+                t_unrepairable = List.length unrepairable;
+                t_in_flight = Engine.repair_in_flight engine;
+                t_installs = installs;
+                t_slos = List.map fst slos;
+              }
       done;
       let stats = Mend.stats mend in
       let _, unrepairable_left = Mend.pending mend engine in
@@ -283,6 +389,8 @@ let run ?rounds ?seed ?(config = default_config) (s : Scenario.t) =
         recovered !full_replication_round ttf stats.Mend.started stats.Mend.completed
         stats.Mend.aborted stats.Mend.retries stats.Mend.installed unrepairable !total_unserved
         !total_faulted !min_online rounds;
+      let slo_summaries = List.map (fun (ev, _) -> Slo.summary ev) slos in
+      List.iter (fun su -> slo_line (Slo.summary_line su)) slo_summaries;
       Ok
         {
           scenario = s;
@@ -298,6 +406,8 @@ let run ?rounds ?seed ?(config = default_config) (s : Scenario.t) =
           total_faulted = !total_faulted;
           startup_delays = Engine.startup_delays engine;
           jsonl = Buffer.contents buf;
+          slo = slo_summaries;
+          slo_jsonl = Buffer.contents slo_buf;
         }
 
 let run_many ?rounds ?jobs ?config ~replications (s : Scenario.t) =

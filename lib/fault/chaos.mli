@@ -3,13 +3,16 @@
     background load while {!Mend} self-heals — and emit a deterministic
     JSONL verdict stream.
 
-    {b Determinism contract:} the JSONL output is a pure function of
-    [(scenario, rounds, seed)].  It is assembled only from engine
-    reports and controller state (never from the shared metrics
-    registry), every number is an integer or a verbatim scenario field,
-    and replications get independent seeded streams combined in
-    replication order — so two runs of the same scenario, at any
-    [--jobs] value, are byte-identical. *)
+    {b Determinism contract:} the JSONL output — the [vod-chaos/1]
+    round stream {e and} the [vod-slo/1] verdict stream — is a pure
+    function of [(scenario, rounds, seed)].  Both are assembled only
+    from engine reports and controller state (never from the shared
+    metrics registry or wall time); every number is an integer, a
+    verbatim scenario field, or a fixed-point [%.4f] float derived
+    from integer sums over round-indexed windows; and replications get
+    independent seeded streams combined in replication order — so two
+    runs of the same scenario, at any [--jobs] value, are
+    byte-identical. *)
 
 type alloc_scheme = Permutation | Round_robin
 
@@ -52,7 +55,25 @@ type outcome = {
           ({!Vod_sim.Engine.startup_delays}) — the scorecard's
           startup-latency sample. *)
   jsonl : string;  (** One meta line, one line per round, one verdict. *)
+  slo : Vod_obs.Slo.summary list;
+      (** Burn summaries of the SLOs compiled from the scenario's KPI
+          budgets (see below); empty when no budget compiles. *)
+  slo_jsonl : string;
+      (** The [vod-slo/1] stream: meta line (with the compiled specs),
+          a verdict line for the first round and for every round whose
+          state changed, then one [slo-summary] line per spec. *)
 }
+
+type tick = {
+  t_report : Vod_sim.Engine.round_report;
+  t_under : int;  (** Under-replicated stripes after the round. *)
+  t_unrepairable : int;
+  t_in_flight : int;  (** Repair transfers currently running. *)
+  t_installs : int;  (** Replicas installed this round. *)
+  t_slos : Vod_obs.Slo.t list;  (** Live evaluators, spec order. *)
+}
+(** What a [?on_round] observer sees after each round — the
+    [vodctl top] dashboard feed. *)
 
 val validate : Scenario.t -> (unit, string) result
 (** Static validation without running: plan compilation (including
@@ -60,9 +81,30 @@ val validate : Scenario.t -> (unit, string) result
     fleet, flash-crowd videos inside the catalog. *)
 
 val run :
-  ?rounds:int -> ?seed:int -> ?config:engine_config -> Scenario.t -> (outcome, string) result
+  ?rounds:int ->
+  ?seed:int ->
+  ?config:engine_config ->
+  ?on_round:(tick -> unit) ->
+  Scenario.t ->
+  (outcome, string) result
 (** Run one replication ([rounds]/[seed] override the scenario's;
-    [config] defaults to {!default_config}).  The scenario's helper
+    [config] defaults to {!default_config}).
+
+    The scenario's rate-style KPI budgets compile to burn-rate SLOs on
+    the default 100/1000-round windows: [max-rejection r] to
+    ["rejection"] (bad = unserved, total = served + unserved, target
+    [r]); [max-startup-p95 L] to ["startup"] (bad = new startups
+    slower than [L] rounds, total = new startups, target 0.05 — the
+    p95 tail budget); [max-sourcing-share s] to ["sourcing"] (bad =
+    connections sourced from static replicas, total = served, target
+    [s]).  [max-time-to-repair] and [require-recovery] are terminal
+    conditions, not per-round rates, and stay KPI-only, as do budgets
+    outside (0, 1].
+
+    [on_round] observes each completed round (report, repair backlog,
+    live SLO evaluators).  It must not mutate the engine or scenario:
+    the callback exists for dashboards and progress meters, and the
+    determinism contract assumes the run is a closed system.  The scenario's helper
     fleets are appended after the [n] base boxes, seeded with replicas
     and set offline as helpers before round 1; a rich/poor population
     builds the Theorem 2 two-class base fleet and compensates it at

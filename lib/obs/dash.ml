@@ -1,0 +1,40 @@
+(* Terminal dashboard primitives (see dash.mli). *)
+
+let ramp = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+              "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline samples =
+  let n = Array.length samples in
+  if n = 0 then ""
+  else begin
+    let lo = Array.fold_left min samples.(0) samples in
+    let hi = Array.fold_left max samples.(0) samples in
+    let span = hi - lo in
+    let buf = Buffer.create (n * 3) in
+    Array.iter
+      (fun v ->
+        let i = if span = 0 then 0 else (v - lo) * (Array.length ramp - 1) / span in
+        Buffer.add_string buf ramp.(i))
+      samples;
+    Buffer.contents buf
+  end
+
+let isatty () = Unix.isatty Unix.stdout
+
+let display ~tty ~first frame =
+  if tty then begin
+    if first then print_string "\x1b[2J";
+    print_string "\x1b[H";
+    String.split_on_char '\n' frame
+    |> List.iter (fun line ->
+           print_string line;
+           (* erase to end of line so shorter lines don't keep stale tails *)
+           print_string "\x1b[K\n");
+    (* erase anything below the frame (e.g. when the frame shrank) *)
+    print_string "\x1b[J"
+  end
+  else begin
+    print_string frame;
+    print_newline ()
+  end;
+  flush stdout

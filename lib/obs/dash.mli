@@ -1,0 +1,20 @@
+(** Terminal dashboard primitives for [vodctl top].
+
+    Pure rendering helpers (sparklines, aligned frames) plus a display
+    routine that redraws in place when stdout is a tty and degrades to
+    plain sequential output otherwise — so piping [vodctl top] into a
+    file yields a readable final frame instead of ANSI soup. *)
+
+val sparkline : int array -> string
+(** Render samples as the Unicode block ramp [▁▂▃▄▅▆▇█], scaled to the
+    array's own min..max (a flat series renders as all [▁]).  Empty
+    input renders as [""]. *)
+
+val isatty : unit -> bool
+(** Whether stdout is a terminal ([Unix.isatty]). *)
+
+val display : tty:bool -> first:bool -> string -> unit
+(** Show a frame (a ['\n']-separated block).  With [tty:true] the
+    cursor returns home and each line erases its tail, so successive
+    frames repaint in place ([first] clears the screen once); with
+    [tty:false] the frame is printed as-is.  Flushes stdout. *)

@@ -1,6 +1,6 @@
 (* JSONL export of a recorded trace: one self-describing event per line.
 
-     {"type":"meta","schema":"vod-obs/1","events":N,"dropped":D}
+     {"type":"meta","schema":"vod-obs/1","events":N,"dropped_spans":D}
      {"type":"span","id":3,"parent":1,"name":"matching","start_ns":..,"stop_ns":..,"attrs":{"served":"17"}}
      {"type":"counter","name":"hk.augmenting_paths","value":523}
      {"type":"gauge","name":"engine.active_requests","value":12}
@@ -27,8 +27,10 @@ let escape s =
     s;
   Buffer.contents buf
 
+(* [dropped_spans] (not the older [dropped]) so ring eviction is named
+   for what it is; Report accepts both keys when parsing. *)
 let meta_line ~events ~dropped =
-  Printf.sprintf "{\"type\":\"meta\",\"schema\":\"%s\",\"events\":%d,\"dropped\":%d}" schema
+  Printf.sprintf "{\"type\":\"meta\",\"schema\":\"%s\",\"events\":%d,\"dropped_spans\":%d}" schema
     events dropped
 
 let span_line (e : Span.event) =

@@ -1,0 +1,56 @@
+(* Collapsed-stack folding (see flame.mli).
+
+   Two passes over the events: one to index by id and accumulate each
+   span's direct-children time, one to emit (stack, self) pairs with
+   the stack paths memoised per id.  Cost O(events * depth) worst case,
+   O(events) with the memo in practice. *)
+
+let duration (e : Span.event) = e.stop_ns - e.start_ns
+
+let fold events =
+  let by_id = Hashtbl.create 256 in
+  List.iter (fun (e : Span.event) -> Hashtbl.replace by_id e.id e) events;
+  let child_ns = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Span.event) ->
+      if e.parent >= 0 && Hashtbl.mem by_id e.parent then
+        let prev = Option.value ~default:0 (Hashtbl.find_opt child_ns e.parent) in
+        Hashtbl.replace child_ns e.parent (prev + duration e))
+    events;
+  let paths = Hashtbl.create 256 in
+  (* parent < id holds for recorded traces, but fold also runs on
+     unvalidated input: the depth cap turns a parent cycle into a
+     truncated stack instead of a loop. *)
+  let rec path depth (e : Span.event) =
+    match Hashtbl.find_opt paths e.id with
+    | Some p -> p
+    | None ->
+        let p =
+          if depth > 512 then e.name
+          else
+            match
+              if e.parent >= 0 then Hashtbl.find_opt by_id e.parent else None
+            with
+            | Some parent -> path (depth + 1) parent ^ ";" ^ e.name
+            | None -> e.name
+        in
+        Hashtbl.replace paths e.id p;
+        p
+  in
+  let stacks = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Span.event) ->
+      let self =
+        max 0 (duration e - Option.value ~default:0 (Hashtbl.find_opt child_ns e.id))
+      in
+      let stack = path 0 e in
+      let prev = Option.value ~default:0 (Hashtbl.find_opt stacks stack) in
+      Hashtbl.replace stacks stack (prev + self))
+    events;
+  Hashtbl.fold (fun stack self acc -> (stack, self) :: acc) stacks []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let folded events =
+  let buf = Buffer.create 1024 in
+  List.iter (fun (stack, self) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" stack self)) (fold events);
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Collapsed-stack folding of a span trace for flamegraph tooling.
+
+    Folds a list of completed {!Span.event}s into the semicolon-joined
+    collapsed-stack format consumed by flamegraph.pl and speedscope:
+
+    {v round;matching;bfs 1234 v}
+
+    One line per distinct stack, the weight being the {e self} time in
+    nanoseconds — the span's duration minus the summed durations of its
+    direct children, clamped at 0 (children overlapping their parent's
+    budget never go negative).  Spans whose parent was evicted from the
+    ring (or [-1]) root their own stack.  Lines are sorted
+    lexicographically by stack, so the output is a deterministic
+    function of the event list. *)
+
+val fold : Span.event list -> (string * int) list
+(** [(stack, self_ns)] pairs, sorted by stack; stacks with 0 self time
+    are kept (they still document the call structure). *)
+
+val folded : Span.event list -> string
+(** The collapsed-stack document: one ["stack self_ns\n"] line per
+    {!fold} pair. *)

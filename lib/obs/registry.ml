@@ -98,16 +98,17 @@ let merge ~into h =
 (* Nearest-rank percentile over the buckets: the bucket holding the
    target rank is found exactly; within it the value is estimated as the
    bucket midpoint, so the result is accurate to the log-scale
-   resolution (a factor of at most 1.5). *)
-let hist_percentile h p =
-  if p < 0.0 || p > 100.0 then invalid_arg "Registry.hist_percentile: p outside [0,100]";
-  if h.h_count = 0 then 0.0
+   resolution (a factor of at most 1.5).  Shared with Timeseries, whose
+   sliding windows maintain the same bucket shape. *)
+let percentile_of_counts counts ~total p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Registry.percentile_of_counts: p outside [0,100]";
+  if total = 0 then 0.0
   else begin
-    let rank = max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int h.h_count))) in
+    let rank = max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int total))) in
     let acc = ref 0 and found = ref 0 in
     (try
-       for i = 0 to hist_buckets - 1 do
-         acc := !acc + h.h_counts.(i);
+       for i = 0 to Array.length counts - 1 do
+         acc := !acc + counts.(i);
          if !acc >= rank then begin
            found := i;
            raise Exit
@@ -117,6 +118,10 @@ let hist_percentile h p =
     let i = !found in
     if i = 0 then 1.0 else 1.5 *. (2.0 ** float_of_int i)
   end
+
+let hist_percentile h p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Registry.hist_percentile: p outside [0,100]";
+  percentile_of_counts h.h_counts ~total:h.h_count p
 
 (* Merge one registry into another, creating missing handles by name.
    Counters and histograms are additive; gauges are level samples with

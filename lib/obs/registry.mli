@@ -58,8 +58,20 @@ val hist_percentile : histogram -> float -> float
     empty histogram.
     @raise Invalid_argument on [p] outside [0,100]. *)
 
+val hist_buckets : int
+(** Number of log-scale buckets (63: one per power of two of a
+    non-negative OCaml int). *)
+
 val bucket_of : int -> int
 (** The bucket index a value falls into (exposed for tests). *)
+
+val percentile_of_counts : int array -> total:int -> float -> float
+(** The percentile estimator behind {!hist_percentile}, over a raw
+    bucket-count array with [total] observations: nearest rank, bucket
+    midpoint.  {!Timeseries} reuses it for its sliding-window
+    histograms so windowed and whole-run percentiles agree by
+    construction.
+    @raise Invalid_argument on [p] outside [0,100]. *)
 
 val absorb : into:t -> t -> unit
 (** Merge a whole registry into another, find-or-creating handles by

@@ -203,7 +203,12 @@ let of_string s =
         | Some s when s = Export.schema -> ()
         | Some s -> raise (Parse ("unknown schema " ^ s))
         | None -> raise (Parse "meta event has no schema"));
-        let dropped = Option.value ~default:0 (int_field "dropped" mobj) in
+        (* current traces say "dropped_spans"; pre-rename ones "dropped" *)
+        let dropped =
+          match int_field "dropped_spans" mobj with
+          | Some d -> d
+          | None -> Option.value ~default:0 (int_field "dropped" mobj)
+        in
         let spans = ref []
         and counters = ref []
         and gauges = ref []

@@ -1,0 +1,150 @@
+(* Per-round time series with O(1) sliding-window aggregates.
+
+   Window machinery per series:
+   - a ring of the last [w] raw values feeding a running sum (exact
+     O(1) sum/mean);
+   - a monotonic deque of (round, value) pairs for the exact window
+     maximum (amortised O(1): each sample enters and leaves once);
+   - a log-scale bucket array in the Registry shape, incremented on
+     entry and decremented on eviction, so percentile queries scan 63
+     buckets with Registry.percentile_of_counts.
+
+   The round clock is the push count; wall time never enters, which is
+   what keeps every aggregate byte-identical across --jobs. *)
+
+type window = {
+  w_size : int;
+  w_ring : int array;  (* last w_size samples, indexed by round mod w_size *)
+  mutable w_sum : int;
+  w_buckets : int array;
+  (* Monotonic max deque over (round, value), decreasing values from
+     head to tail; arrays of w_size+1 used as a circular queue. *)
+  dq_round : int array;
+  dq_value : int array;
+  mutable dq_head : int;
+  mutable dq_tail : int;
+}
+
+type series = {
+  s_name : string;
+  s_capacity : int;
+  s_samples : int array;  (* retained raw ring, indexed by round mod capacity *)
+  mutable s_length : int;  (* total pushes = the round clock *)
+  s_windows : window list;  (* ascending w_size *)
+}
+
+type t = {
+  t_capacity : int;
+  t_window_sizes : int list;
+  tbl : (string, series) Hashtbl.t;
+  mutable names_rev : string list;
+}
+
+let create ?(capacity = 1024) ?(windows = [ 100; 1000 ]) () =
+  if capacity < 1 then invalid_arg "Timeseries.create: capacity < 1";
+  List.iter (fun w -> if w < 1 then invalid_arg "Timeseries.create: window size < 1") windows;
+  let windows = List.sort_uniq compare windows in
+  { t_capacity = capacity; t_window_sizes = windows; tbl = Hashtbl.create 16; names_rev = [] }
+
+let make_window w_size =
+  {
+    w_size;
+    w_ring = Array.make w_size 0;
+    w_sum = 0;
+    w_buckets = Array.make Registry.hist_buckets 0;
+    dq_round = Array.make (w_size + 1) 0;
+    dq_value = Array.make (w_size + 1) 0;
+    dq_head = 0;
+    dq_tail = 0;
+  }
+
+let series t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          s_name = name;
+          s_capacity = t.t_capacity;
+          s_samples = Array.make t.t_capacity 0;
+          s_length = 0;
+          s_windows = List.map make_window t.t_window_sizes;
+        }
+      in
+      Hashtbl.add t.tbl name s;
+      t.names_rev <- name :: t.names_rev;
+      s
+
+let names t = List.rev t.names_rev
+let name s = s.s_name
+let length s = s.s_length
+let last s = if s.s_length = 0 then 0 else s.s_samples.((s.s_length - 1) mod s.s_capacity)
+
+let recent s k =
+  let k = min k (min s.s_length s.s_capacity) in
+  Array.init k (fun i -> s.s_samples.((s.s_length - k + i) mod s.s_capacity))
+
+let windows s = List.map (fun w -> w.w_size) s.s_windows
+
+(* Deque helpers: the arrays have w_size+1 slots so head = tail always
+   means empty. *)
+let dq_cap w = w.w_size + 1
+let dq_empty w = w.dq_head = w.dq_tail
+
+let dq_back w =
+  (* index of the last occupied slot; undefined when empty *)
+  (w.dq_tail + dq_cap w - 1) mod dq_cap w
+
+let push_window w ~round v =
+  (* Evict the sample leaving the window, if the window is full. *)
+  if round >= w.w_size then begin
+    let old = w.w_ring.(round mod w.w_size) in
+    w.w_sum <- w.w_sum - old;
+    let b = Registry.bucket_of old in
+    w.w_buckets.(b) <- w.w_buckets.(b) - 1
+  end;
+  w.w_ring.(round mod w.w_size) <- v;
+  w.w_sum <- w.w_sum + v;
+  let b = Registry.bucket_of v in
+  w.w_buckets.(b) <- w.w_buckets.(b) + 1;
+  (* Expire deque entries that fell out of the window. *)
+  while (not (dq_empty w)) && w.dq_round.(w.dq_head) <= round - w.w_size do
+    w.dq_head <- (w.dq_head + 1) mod dq_cap w
+  done;
+  (* Drop dominated entries from the back, then append. *)
+  while (not (dq_empty w)) && w.dq_value.(dq_back w) <= v do
+    w.dq_tail <- dq_back w
+  done;
+  w.dq_round.(w.dq_tail) <- round;
+  w.dq_value.(w.dq_tail) <- v;
+  w.dq_tail <- (w.dq_tail + 1) mod dq_cap w
+
+let push s v =
+  let round = s.s_length in
+  s.s_samples.(round mod s.s_capacity) <- v;
+  List.iter (fun w -> push_window w ~round v) s.s_windows;
+  s.s_length <- round + 1
+
+let find_window s ~window =
+  match List.find_opt (fun w -> w.w_size = window) s.s_windows with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Timeseries: series %S has no window %d" s.s_name window)
+
+let window_count s ~window =
+  let w = find_window s ~window in
+  min s.s_length w.w_size
+
+let window_sum s ~window = (find_window s ~window).w_sum
+
+let window_mean s ~window =
+  let w = find_window s ~window in
+  let n = min s.s_length w.w_size in
+  if n = 0 then 0.0 else float_of_int w.w_sum /. float_of_int n
+
+let window_max s ~window =
+  let w = find_window s ~window in
+  if dq_empty w then 0 else w.dq_value.(w.dq_head)
+
+let window_percentile s ~window p =
+  let w = find_window s ~window in
+  Registry.percentile_of_counts w.w_buckets ~total:(min s.s_length w.w_size) p

@@ -1,0 +1,70 @@
+(** Per-round time series with O(1) sliding-window aggregates.
+
+    A {!series} is a fixed-capacity ring of integer samples indexed by
+    round: the sample clock is the number of {!push}es, never wall
+    time, so every aggregate is a pure function of the pushed values
+    and byte-identical at any [--jobs] setting.
+
+    Each series maintains a set of sliding windows (sizes fixed at
+    creation).  Per window the module keeps a running sum, a monotonic
+    deque for the exact maximum and a log-scale bucket histogram (the
+    {!Registry} shape), so after every push:
+
+    - {!window_sum}, {!window_mean}, {!window_max} are O(1) and exact;
+    - {!window_percentile} is O(63) and accurate to the log-bucket
+      resolution (same estimator as {!Registry.hist_percentile}).
+
+    Push cost is amortised O(1) per window.  Not thread-safe: a
+    collection belongs to the engine round loop that feeds it. *)
+
+type t
+(** A named collection of series sharing default capacity/windows. *)
+
+type series
+
+val create : ?capacity:int -> ?windows:int list -> unit -> t
+(** New collection.  [capacity] (default 1024) bounds the raw samples
+    retained per series ({!recent} cannot look further back); windows
+    (default [[100; 1000]]) are the sliding-aggregate sizes for series
+    created through this collection.
+    @raise Invalid_argument if [capacity < 1] or any window size < 1. *)
+
+val series : t -> string -> series
+(** Find-or-create by name (like {!Registry.counter}). *)
+
+val names : t -> string list
+(** Series names in creation order (deterministic). *)
+
+val push : series -> int -> unit
+(** Append the sample for the next round and update every window. *)
+
+val name : series -> string
+
+val length : series -> int
+(** Total samples pushed (the round clock), not capped by capacity. *)
+
+val last : series -> int
+(** Most recent sample; 0 before any push. *)
+
+val recent : series -> int -> int array
+(** [recent s k] is the last [min k (min (length s) capacity)] samples,
+    oldest first. *)
+
+val windows : series -> int list
+(** Window sizes, ascending. *)
+
+val window_count : series -> window:int -> int
+(** Samples currently inside the window: [min (length s) window].
+    @raise Invalid_argument if [window] is not one of {!windows} (all
+    window accessors). *)
+
+val window_sum : series -> window:int -> int
+val window_mean : series -> window:int -> float
+(** 0.0 before any push. *)
+
+val window_max : series -> window:int -> int
+(** Exact maximum over the window; 0 before any push. *)
+
+val window_percentile : series -> window:int -> float -> float
+(** Histogram-backed percentile over the window (p50/p95/p99 in O(63)).
+    @raise Invalid_argument on [p] outside [0,100]. *)

@@ -319,6 +319,23 @@ val startup_delays : t -> int array
     start-up counts two more protocol rounds on top.  Relayed demands
     take 3 (the doubled time scale).  Stalls lengthen it. *)
 
+val startup_count : t -> int
+(** Number of realised start-up delays so far — an O(1) cursor into
+    {!startup_delays} that lets a per-round consumer (the SLO
+    evaluator) read only the delays new since the previous round. *)
+
+val startup_delay : t -> int -> int
+(** [startup_delay t i] is the [i]-th realised delay, [0 <= i <
+    startup_count t], without the O(n) copy of {!startup_delays}. *)
+
+val set_round_sink : t -> (round_report -> unit) option -> unit
+(** Install (or clear) the per-round telemetry flush hook.  The sink
+    runs at the end of every {!step}, after the report is assembled and
+    before a [Fail_fast] defeat raises — so it sees every round,
+    including the losing one.  The sink must only observe: it runs
+    inside the round and anything it mutates in the engine would break
+    the determinism contract. *)
+
 val demand : t -> box:int -> video:int -> unit
 (** Register that the user of [box] demands [video] in the interval
     before the next {!step}.  A poor box with a relay in the supplied

@@ -415,7 +415,14 @@ let test_chaos_deterministic_jsonl () =
     |> List.map (fun o -> o.Chaos.jsonl)
     |> String.concat ""
   in
+  checks "same run, same slo bytes" o1.Chaos.slo_jsonl o2.Chaos.slo_jsonl;
   checks "jobs=1 and jobs=2 byte-identical" (many 1) (many 2);
+  let many_slo jobs =
+    Result.get_ok (Chaos.run_many ~jobs ~replications:3 s)
+    |> List.map (fun o -> o.Chaos.slo_jsonl)
+    |> String.concat ""
+  in
+  checks "slo stream jobs-invariant" (many_slo 1) (many_slo 2);
   (* replications genuinely differ (independent seeds) *)
   match Result.get_ok (Chaos.run_many ~jobs:2 ~replications:2 s) with
   | [ a; b ] ->
@@ -433,6 +440,55 @@ let test_chaos_recovers () =
   checkb "link faults fired" true (o.Chaos.total_faulted > 0);
   checki "two boxes down at the trough" 30 o.Chaos.min_online;
   checkb "full replication reached" true (o.Chaos.time_to_full_replication >= 0)
+
+(* KPI budgets compile into burn-rate SLOs; the verdict stream and the
+   per-round tick are deterministic functions of the scenario. *)
+let test_chaos_slo_compilation () =
+  let module Slo = Vod_obs.Slo in
+  let text =
+    crashy_scenario_text
+    ^ {|kpi max-rejection 0.05
+kpi max-startup-p95 3
+kpi max-sourcing-share 0.98
+kpi max-time-to-repair 20
+|}
+  in
+  let s = Result.get_ok (Scenario.parse ~name:"budgeted" text) in
+  let ticks = ref 0 and evaluators = ref 0 in
+  let o =
+    Result.get_ok
+      (Chaos.run
+         ~on_round:(fun tick ->
+           incr ticks;
+           evaluators := List.length tick.Chaos.t_slos)
+         s)
+  in
+  checki "tick per round" s.Scenario.rounds !ticks;
+  checki "three budgets compile to slos" 3 !evaluators;
+  (* time-to-repair stays a terminal KPI, never an SLO *)
+  checkb "summary order rejection, startup, sourcing" true
+    (List.map (fun su -> su.Slo.su_name) o.Chaos.slo
+    = [ "rejection"; "startup"; "sourcing" ]);
+  (match o.Chaos.slo with
+  | rej :: _ -> checks "stream ends ok" "ok" (Slo.state_name rej.Slo.su_final)
+  | [] -> Alcotest.fail "expected slo summaries");
+  (* the stream carries a meta line naming the schema *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (match String.split_on_char '\n' o.Chaos.slo_jsonl with
+  | meta :: _ ->
+      checkb "meta line" true
+        (String.length meta > 15
+        && String.sub meta 0 15 = {|{"type":"meta",|}
+        && contains meta {|"version":"vod-slo/1"|})
+  | [] -> Alcotest.fail "empty slo stream");
+  (* a budget-free scenario produces no evaluators but still a stream *)
+  let quiet = Result.get_ok (Scenario.parse ~name:"quiet" quiet_scenario_text) in
+  let oq = Result.get_ok (Chaos.run quiet) in
+  checkb "no budgets, no summaries" true (oq.Chaos.slo = [])
 
 let test_chaos_rejects_bad_scenarios () =
   let s = Result.get_ok (Scenario.parse ~name:"bad" (quiet_scenario_text ^ "at 5 crash 99\n")) in
@@ -545,6 +601,8 @@ let suites =
         Alcotest.test_case "empty plan lockstep" `Quick test_chaos_empty_plan_lockstep;
         Alcotest.test_case "deterministic jsonl" `Quick test_chaos_deterministic_jsonl;
         Alcotest.test_case "recovers" `Quick test_chaos_recovers;
+        Alcotest.test_case "kpi budgets compile to slos" `Quick
+          test_chaos_slo_compilation;
         Alcotest.test_case "rejects bad scenarios" `Quick test_chaos_rejects_bad_scenarios;
         Alcotest.test_case "repair oracle agreement" `Quick test_chaos_repair_agreement;
       ] );

@@ -83,6 +83,23 @@ let test_hist_percentile () =
     (Invalid_argument "Registry.hist_percentile: p outside [0,100]") (fun () ->
       ignore (Registry.hist_percentile h 101.0))
 
+let test_percentile_of_counts () =
+  let counts = Array.make Registry.hist_buckets 0 in
+  checkf "empty histogram" 0.0 (Registry.percentile_of_counts counts ~total:0 50.0);
+  (* single populated bucket: every percentile lands on its midpoint *)
+  counts.(3) <- 5;
+  let mid3 = 1.5 *. 8.0 in
+  checkf "p0 single bucket" mid3 (Registry.percentile_of_counts counts ~total:5 0.0);
+  checkf "p50 single bucket" mid3 (Registry.percentile_of_counts counts ~total:5 50.0);
+  checkf "p100 single bucket" mid3 (Registry.percentile_of_counts counts ~total:5 100.0);
+  (* bucket 0 is reported as 1.0, not 1.5 *)
+  let c0 = Array.make Registry.hist_buckets 0 in
+  c0.(0) <- 2;
+  checkf "bucket 0 midpoint" 1.0 (Registry.percentile_of_counts c0 ~total:2 99.0);
+  Alcotest.check_raises "p < 0"
+    (Invalid_argument "Registry.percentile_of_counts: p outside [0,100]") (fun () ->
+      ignore (Registry.percentile_of_counts counts ~total:5 (-1.0)))
+
 let test_snapshot_sorted () =
   let reg = Registry.create () in
   Registry.add (Registry.counter reg "z") 1;
@@ -158,7 +175,7 @@ let test_noop_sink () =
 
 let golden_lines =
   [
-    "{\"type\":\"meta\",\"schema\":\"vod-obs/1\",\"events\":2,\"dropped\":0}";
+    "{\"type\":\"meta\",\"schema\":\"vod-obs/1\",\"events\":2,\"dropped_spans\":0}";
     "{\"type\":\"span\",\"id\":0,\"parent\":-1,\"name\":\"round\",\"start_ns\":100,\"stop_ns\":200,\"attrs\":{}}";
     "{\"type\":\"span\",\"id\":1,\"parent\":0,\"name\":\"matching\",\"start_ns\":110,\"stop_ns\":190,\"attrs\":{\"served\":\"17\"}}";
     "{\"type\":\"counter\",\"name\":\"engine.rounds\",\"value\":1}";
@@ -278,6 +295,188 @@ let test_summarise_phases () =
   checkf "repair share" 0.3 (row "repair").Report.share
 
 (* ------------------------------------------------------------------ *)
+(* Timeseries sliding windows                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Ts = Vod_obs.Timeseries
+
+let test_timeseries_windows () =
+  let ts = Ts.create ~capacity:8 ~windows:[ 4; 6 ] () in
+  let s = Ts.series ts "x" in
+  checki "empty length" 0 (Ts.length s);
+  checki "empty last" 0 (Ts.last s);
+  checkf "empty mean" 0.0 (Ts.window_mean s ~window:4);
+  checki "empty max" 0 (Ts.window_max s ~window:4);
+  List.iter (Ts.push s) [ 3; 1; 4; 1; 5; 9; 2; 6 ];
+  checki "length" 8 (Ts.length s);
+  checki "last" 6 (Ts.last s);
+  (* window 4 now holds [5;9;2;6], window 6 holds [4;1;5;9;2;6] *)
+  checki "count w4" 4 (Ts.window_count s ~window:4);
+  checki "sum w4" 22 (Ts.window_sum s ~window:4);
+  checkf "mean w4" 5.5 (Ts.window_mean s ~window:4);
+  checki "max w4" 9 (Ts.window_max s ~window:4);
+  checki "sum w6" 27 (Ts.window_sum s ~window:6);
+  checki "max w6" 9 (Ts.window_max s ~window:6);
+  (* buckets of [5;9;2;6] are [2;3;1;2]: rank 2 of 4 lands in bucket 2 *)
+  checkf "p50 w4" 6.0 (Ts.window_percentile s ~window:4 50.0);
+  checkf "p100 w4" 12.0 (Ts.window_percentile s ~window:4 100.0);
+  checkb "recent oldest-first" true (Ts.recent s 3 = [| 9; 2; 6 |]);
+  (* the deque must evict the old max as it slides out *)
+  List.iter (Ts.push s) [ 1; 1 ];
+  checki "max after eviction" 6 (Ts.window_max s ~window:4);
+  checki "sum after eviction" 10 (Ts.window_sum s ~window:4);
+  checkb "names creation order" true (Ts.names ts = [ "x" ]);
+  checkb "windows ascending" true (Ts.windows s = [ 4; 6 ]);
+  checkb "find-or-create" true (Ts.series ts "x" == s);
+  Alcotest.check_raises "unknown window"
+    (Invalid_argument "Timeseries: series \"x\" has no window 7") (fun () ->
+      ignore (Ts.window_sum s ~window:7))
+
+(* ------------------------------------------------------------------ *)
+(* SLO burn rates                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Slo = Vod_obs.Slo
+
+let test_slo_states () =
+  let sp = Slo.spec ~fast:2 ~slow:4 ~name:"rej" ~target:0.4 () in
+  let ev = Slo.create sp in
+  checks "initial" "ok" (Slo.state_name (Slo.state ev));
+  checks "no burning window" "none" (Slo.burning_window ev);
+  (* two good warm-up rounds (so the slow window outgrows the fast one),
+     two bad rounds, then recovery: Ok -> Warning (fast detects) ->
+     Breach (slow confirms) -> Warning (slow tail) -> Ok *)
+  let expect =
+    [
+      ((0, 10), "ok", "none");
+      ((0, 10), "ok", "none");
+      ((10, 10), "warning", "fast");
+      ((10, 10), "breach", "both");
+      ((0, 10), "breach", "both");
+      ((0, 10), "warning", "slow");
+      ((0, 10), "ok", "none");
+    ]
+  in
+  List.iteri
+    (fun i ((bad, total), state, window) ->
+      Slo.observe ev ~bad ~total;
+      checks (Printf.sprintf "state after round %d" (i + 1)) state
+        (Slo.state_name (Slo.state ev));
+      checks (Printf.sprintf "window after round %d" (i + 1)) window
+        (Slo.burning_window ev))
+    expect;
+  let su = Slo.summary ev in
+  checki "warn rounds" 2 su.Slo.su_warn_rounds;
+  checki "breach rounds" 2 su.Slo.su_breach_rounds;
+  (* peak fast burn: [10;10]/20 = 1.0 bad fraction over target 0.4 *)
+  checkf "max fast burn" (1.0 /. 0.4) su.Slo.su_max_fast_burn;
+  checkf "max slow burn" (0.5 /. 0.4) su.Slo.su_max_slow_burn;
+  checks "summary json"
+    "{\"name\":\"rej\",\"state\":\"ok\",\"warn_rounds\":2,\"breach_rounds\":2,\"max_fast_burn\":2.5000,\"max_slow_burn\":1.2500}"
+    (Slo.summary_json su);
+  checks "verdict json"
+    "{\"type\":\"slo\",\"t\":7,\"name\":\"rej\",\"state\":\"ok\",\"window\":\"none\",\"fast_burn\":0.0000,\"slow_burn\":0.6250}"
+    (Slo.verdict_json ev ~round:7)
+
+let test_slo_clamps_and_empty () =
+  let ev = Slo.create (Slo.spec ~fast:2 ~slow:3 ~name:"s" ~target:0.5 ()) in
+  checkf "burn of empty window" 0.0 (Slo.burn ev `Fast);
+  (* negative counts clamp to 0, bad clamps to total *)
+  Slo.observe ev ~bad:(-4) ~total:(-2);
+  checkf "all-zero round contributes nothing" 0.0 (Slo.burn ev `Fast);
+  Slo.observe ev ~bad:9 ~total:4;
+  checkf "bad clamped to total" (1.0 /. 0.5) (Slo.burn ev `Fast);
+  Alcotest.check_raises "bad target"
+    (Invalid_argument "Slo.spec: target outside (0,1]") (fun () ->
+      ignore (Slo.spec ~name:"t" ~target:1.5 ()));
+  Alcotest.check_raises "fast >= slow"
+    (Invalid_argument "Slo.spec: fast window must be smaller than slow") (fun () ->
+      ignore (Slo.spec ~fast:100 ~slow:100 ~name:"t" ~target:0.1 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Flamegraph folding                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Flame = Vod_obs.Flame
+
+let test_flame_fold () =
+  let r = Span.create_recorder () in
+  let root = Span.emit r ~name:"round" ~start_ns:0 ~stop_ns:100 () in
+  let m = Span.emit r ~parent:root ~name:"matching" ~start_ns:10 ~stop_ns:40 () in
+  let _ = Span.emit r ~parent:m ~name:"bfs" ~start_ns:15 ~stop_ns:25 () in
+  let _ = Span.emit r ~parent:root ~name:"account" ~start_ns:50 ~stop_ns:70 () in
+  (* a span whose parent never made it into the ring roots itself *)
+  let _ = Span.emit r ~parent:999 ~name:"orphan" ~start_ns:0 ~stop_ns:7 () in
+  checks "collapsed stacks"
+    "orphan 7\nround 50\nround;account 20\nround;matching 20\nround;matching;bfs 10\n"
+    (Flame.folded (Span.events r))
+
+let test_flame_self_clamped () =
+  (* children overlapping beyond the parent's duration clamp self at 0 *)
+  let r = Span.create_recorder () in
+  let root = Span.emit r ~name:"p" ~start_ns:0 ~stop_ns:10 () in
+  let _ = Span.emit r ~parent:root ~name:"a" ~start_ns:0 ~stop_ns:8 () in
+  let _ = Span.emit r ~parent:root ~name:"b" ~start_ns:1 ~stop_ns:9 () in
+  checkb "self clamped at zero" true (List.mem ("p", 0) (Flame.fold (Span.events r)))
+
+(* ------------------------------------------------------------------ *)
+(* Dashboard primitives                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Dash = Vod_obs.Dash
+
+let test_sparkline () =
+  checks "empty" "" (Dash.sparkline [||]);
+  checks "flat is all-low" "\xe2\x96\x81\xe2\x96\x81\xe2\x96\x81"
+    (Dash.sparkline [| 5; 5; 5 |]);
+  checks "min and max hit the ramp ends" "\xe2\x96\x81\xe2\x96\x88"
+    (Dash.sparkline [| 0; 7 |]);
+  checks "full ramp"
+    "\xe2\x96\x81\xe2\x96\x82\xe2\x96\x83\xe2\x96\x84\xe2\x96\x85\xe2\x96\x86\xe2\x96\x87\xe2\x96\x88"
+    (Dash.sparkline [| 0; 1; 2; 3; 4; 5; 6; 7 |])
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry bridge (engine round sink)                                *)
+(* ------------------------------------------------------------------ *)
+
+module Telemetry = Vod_sim.Telemetry
+
+let test_telemetry_attach () =
+  let fleet = Vod_model.Box.Fleet.homogeneous ~n:32 ~u:2.0 ~d:4.0 in
+  let catalog = Vod_model.Catalog.create ~m:16 ~c:2 in
+  let g = Prng.create ~seed:3 () in
+  let alloc = Vod_alloc.Schemes.random_permutation g ~fleet ~catalog ~k:4 in
+  let params = Vod_model.Params.make ~n:32 ~c:2 ~mu:1.5 ~duration:10 in
+  let run () =
+    let sim =
+      Vod_sim.Engine.create ~params ~fleet ~alloc ~policy:Vod_sim.Engine.Continue ()
+    in
+    let tele = Telemetry.create ~slos:(Telemetry.default_slos ()) () in
+    Telemetry.attach tele sim;
+    let wg = Prng.create ~seed:11 () in
+    let gen = Vod_workload.Generators.zipf_arrivals wg ~rate:2.0 ~s:0.9 in
+    let reports = Vod_sim.Engine.run sim ~rounds:50 ~demands_for:gen in
+    (tele, reports)
+  in
+  let tele, reports = run () in
+  checki "sink saw every round" 50 (Telemetry.rounds tele);
+  let series_served = Telemetry.series tele "served" in
+  checki "served series length" 50 (Ts.length series_served);
+  let total_served = List.fold_left (fun a r -> a + r.Vod_sim.Engine.served) 0 reports in
+  checki "served series sums to the reports" total_served
+    (Ts.window_sum series_served ~window:100);
+  checkb "all canonical series fed" true
+    (List.for_all
+       (fun n -> Ts.length (Telemetry.series tele n) = 50)
+       Telemetry.series_names);
+  checki "slo evaluators run" 2 (List.length (Telemetry.slos tele));
+  (* the sink is observation-only: a second telemetry run reports the
+     same totals *)
+  let tele2, _ = run () in
+  checki "telemetry never perturbs the run" total_served
+    (Ts.window_sum (Telemetry.series tele2 "served") ~window:100)
+
+(* ------------------------------------------------------------------ *)
 (* QCheck properties                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -296,6 +495,47 @@ let qcheck_cases =
         Registry.hist_count a = count_a + Registry.hist_count b
         && Registry.hist_sum a = sum_a + Registry.hist_sum b
         && Array.for_all (fun c -> c >= 0) (Registry.hist_counts a));
+    Test.make ~name:"percentile of merged = merge then percentile" ~count:200
+      (pair (list (int_bound 100_000)) (list (int_bound 100_000)))
+      (fun (xs, ys) ->
+        let reg = Registry.create () in
+        let a = Registry.histogram reg "a" and b = Registry.histogram reg "b" in
+        let c = Registry.histogram reg "c" in
+        List.iter (Registry.observe a) xs;
+        List.iter (Registry.observe b) ys;
+        List.iter (Registry.observe c) (xs @ ys);
+        Registry.merge ~into:a b;
+        List.for_all
+          (fun p -> Registry.hist_percentile a p = Registry.hist_percentile c p)
+          [ 0.0; 50.0; 95.0; 99.0; 100.0 ]);
+    Test.make ~name:"timeseries window aggregates match a naive reference" ~count:200
+      (pair (list (int_bound 100_000)) (oneofl [ 1; 2; 5; 16 ]))
+      (fun (samples, w) ->
+        let ts = Ts.create ~capacity:64 ~windows:[ w ] () in
+        let s = Ts.series ts "x" in
+        List.iter (Ts.push s) samples;
+        let arr = Array.of_list samples in
+        let len = Array.length arr in
+        let keep = min len w in
+        let tail = Array.sub arr (len - keep) keep in
+        let sum = Array.fold_left ( + ) 0 tail in
+        let max_ = Array.fold_left max 0 tail in
+        let counts = Array.make Registry.hist_buckets 0 in
+        Array.iter
+          (fun v ->
+            let b = Registry.bucket_of (max 0 v) in
+            counts.(b) <- counts.(b) + 1)
+          tail;
+        Ts.window_count s ~window:w = keep
+        && Ts.window_sum s ~window:w = sum
+        && Ts.window_max s ~window:w = max_
+        && Ts.window_mean s ~window:w
+           = (if keep = 0 then 0.0 else float_of_int sum /. float_of_int keep)
+        && List.for_all
+             (fun p ->
+               Ts.window_percentile s ~window:w p
+               = Registry.percentile_of_counts counts ~total:keep p)
+             [ 0.0; 50.0; 95.0; 99.0; 100.0 ]);
     Test.make ~name:"random span trees validate" ~count:100
       (int_range 0 1_000_000)
       (fun seed ->
@@ -395,7 +635,18 @@ let suites =
         Alcotest.test_case "bucket_of" `Quick test_bucket_of;
         Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
         Alcotest.test_case "hist percentile" `Quick test_hist_percentile;
+        Alcotest.test_case "percentile of counts" `Quick test_percentile_of_counts;
         Alcotest.test_case "snapshot sorted" `Quick test_snapshot_sorted;
+      ] );
+    ( "obs.streaming",
+      [
+        Alcotest.test_case "timeseries windows" `Quick test_timeseries_windows;
+        Alcotest.test_case "slo state machine" `Quick test_slo_states;
+        Alcotest.test_case "slo clamps and guards" `Quick test_slo_clamps_and_empty;
+        Alcotest.test_case "flame fold" `Quick test_flame_fold;
+        Alcotest.test_case "flame self clamped" `Quick test_flame_self_clamped;
+        Alcotest.test_case "sparkline" `Quick test_sparkline;
+        Alcotest.test_case "telemetry attach" `Quick test_telemetry_attach;
       ] );
     ( "obs.span",
       [
