@@ -9,12 +9,12 @@ test:
 	dune runtest
 
 # Short-budget differential fuzz pass (separate from `dune runtest`):
-# 200 random bipartite instances x 13 max-matching solvers (incl. the
-# warm-start incremental solver, cold and warm, and the
-# component-sharded solver at three shard/jobs settings, whose merged
-# assignment must be bit-identical to Hopcroft-Karp's) plus 6
-# simulated scenarios x 7 lockstep engines (3 schedulers +
-# arbitrary/sticky on the incremental and sharded matching engines),
+# 200 random bipartite instances x 17 max-matching solvers (incl. the
+# warm-start incremental solver, cold and warm, the component-sharded
+# solver at three shard/jobs settings, whose merged assignment must be
+# bit-identical to Hopcroft-Karp's, and the layout-renumbered solver
+# variants) plus 6 simulated scenarios x 9 lockstep engines (3
+# schedulers + 2 incremental + 2 sharded + 2 layout),
 # every engine failure round certified by an independent Hall-violator
 # check.  Fixed seed, so the pass is deterministic and CI-friendly.
 # The verdict carries a one-line obs summary of the solver counters

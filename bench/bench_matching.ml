@@ -185,6 +185,34 @@ let run () =
     scenarios;
   List.rev !records
 
+(* The single pinned point of the CI kernel smoke: the bare CSR
+   Hopcroft-Karp core at n=16384 low churn, checked against an absolute
+   ns/round ceiling (compare.exe --ceiling) so a kernel regression
+   fails fast without waiting for the full bench leg. *)
+let run_smoke () =
+  let arena = Arena.create () in
+  let n_left = 16384 and rounds = 12 in
+  let seq = make_sequence ~seed:(0xbe2c + n_left) ~n_left ~rounds ~churn:0.02 in
+  ignore (time_csr_hk [ List.hd seq ] ~arena);
+  let best = ref infinity and matched = ref 0 and bytes = ref 0.0 in
+  for _ = 1 to 5 do
+    let ns, m, b = time_csr_hk seq ~arena in
+    if ns < !best then best := ns;
+    matched := m;
+    bytes := b
+  done;
+  let r = float_of_int rounds in
+  [
+    {
+      name = "matching/csr_hk/low-churn";
+      n = n_left;
+      rounds;
+      ns_per_round = !best /. r;
+      matched_per_round = float_of_int !matched /. r;
+      alloc_per_round = !bytes /. r;
+    };
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Component-sharded solving at swarm scale                            *)
 (* ------------------------------------------------------------------ *)

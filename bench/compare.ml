@@ -5,6 +5,16 @@
      dune exec bench/compare.exe -- BASELINE CURRENT \
        [--threshold PCT] [--format table|json]
 
+   A second mode checks absolute ceilings instead of a relative diff:
+
+     dune exec bench/compare.exe -- CURRENT --ceiling NAME@N=NS ...
+
+   Each (repeatable) --ceiling pins one record: the row named NAME at
+   size N must exist and its ns_per_round must not exceed NS.  This is
+   the CI kernel-smoke gate — baseline-independent, so a noisy runner
+   can only trip it by being slower than the generously pinned
+   absolute budget, not by drifting relative to a lucky baseline run.
+
    Records are matched on (name, n); every row gets one status:
 
      ok         within the threshold, no drift
@@ -370,11 +380,48 @@ let print_offenders ~threshold rows =
       | Ok_row | New -> ())
     rows
 
+(* --ceiling NAME@N=NS: absolute per-record budgets, no baseline. *)
+let parse_ceiling spec =
+  match String.index_opt spec '=' with
+  | None -> None
+  | Some eq -> (
+      let lhs = String.sub spec 0 eq in
+      let rhs = String.sub spec (eq + 1) (String.length spec - eq - 1) in
+      match (String.rindex_opt lhs '@', float_of_string_opt rhs) with
+      | Some at, Some ns when ns > 0.0 -> (
+          let name = String.sub lhs 0 at in
+          let n = String.sub lhs (at + 1) (String.length lhs - at - 1) in
+          match int_of_string_opt n with
+          | Some n when name <> "" -> Some (name, n, ns)
+          | _ -> None)
+      | _ -> None)
+
+let check_ceilings ceilings path =
+  let records = records_of_file path in
+  let bad = ref false in
+  List.iter
+    (fun (name, n, budget) ->
+      match List.find_opt (fun r -> r.name = name && r.n = n) records with
+      | None ->
+          Printf.eprintf "MISSING %s n=%d: no such record in %s\n" name n path;
+          bad := true
+      | Some r when r.ns_per_round > budget ->
+          Printf.eprintf "CEILING %s n=%d: %.0f ns/round exceeds the %.0f ns budget\n"
+            name n r.ns_per_round budget;
+          bad := true
+      | Some r ->
+          Printf.printf "ok %s n=%d: %.0f ns/round within the %.0f ns budget\n" name n
+            r.ns_per_round budget)
+    ceilings;
+  if not !bad then Printf.printf "verdict: all %d ceilings hold\n" (List.length ceilings);
+  exit (if !bad then 1 else 0)
+
 let () =
   let args = Array.to_list Sys.argv in
   let threshold = ref 25.0 in
   let format = ref `Table in
   let paths = ref [] in
+  let ceilings = ref [] in
   let rec parse = function
     | [] -> ()
     | "--threshold" :: pct :: rest ->
@@ -392,13 +439,28 @@ let () =
             prerr_endline "compare: --format expects 'table' or 'json'";
             exit 2);
         parse rest
+    | "--ceiling" :: spec :: rest ->
+        (match parse_ceiling spec with
+        | Some c -> ceilings := c :: !ceilings
+        | None ->
+            prerr_endline "compare: --ceiling expects NAME@N=NS with NS > 0";
+            exit 2);
+        parse rest
     | a :: rest ->
         paths := a :: !paths;
         parse rest
   in
   parse (List.tl args);
-  match List.rev !paths with
-  | [ baseline_path; current_path ] -> (
+  match (List.rev !paths, List.rev !ceilings) with
+  | [ current_path ], (_ :: _ as ceilings) -> (
+      try check_ceilings ceilings current_path with
+      | Parse m ->
+          prerr_endline ("compare: " ^ m);
+          exit 2
+      | Sys_error m ->
+          prerr_endline ("compare: " ^ m);
+          exit 2)
+  | [ baseline_path; current_path ], [] -> (
       try
         let baseline = records_of_file baseline_path in
         let current = records_of_file current_path in
@@ -418,5 +480,6 @@ let () =
   | _ ->
       prerr_endline
         "usage: compare BASELINE.json CURRENT.json [--threshold PCT] [--format \
-         table|json]";
+         table|json]\n\
+        \       compare CURRENT.json --ceiling NAME@N=NS [--ceiling ...]";
       exit 2

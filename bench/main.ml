@@ -13,6 +13,9 @@
    Run with:            dune exec bench/main.exe
    Skip micro-benches:  dune exec bench/main.exe -- --no-micro
    Skip experiments:    dune exec bench/main.exe -- --quick
+   Kernel smoke only:   dune exec bench/main.exe -- --smoke --json OUT
+                        (pinned csr_hk gate point + kernel micros, for
+                        the CI ceiling check)
    Emit bench records:  dune exec bench/main.exe -- --json BENCH_matching.json
    Observability:       dune exec bench/main.exe -- --obs  (record spans/metrics
                         around the matching bench and print the summary)
@@ -138,6 +141,16 @@ let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
   let obs = Array.exists (fun a -> a = "--obs") Sys.argv in
   let json = json_path () in
+  (* --smoke: only the pinned kernel gate point plus the kernel micro
+     records, for the CI ceiling check — seconds, not minutes. *)
+  if Array.exists (fun a -> a = "--smoke") Sys.argv then begin
+    let records = Bench_matching.run_smoke () @ Bench_kernels.run () in
+    Bench_matching.print_table records;
+    (match json with
+    | None -> ()
+    | Some path -> Bench_matching.emit_json records ~path);
+    exit 0
+  end;
   print_endline "Reproduction harness for:";
   print_endline
     "  Boufkhad, Mathieu, de Montgolfier, Perino, Viennot.\n\
@@ -159,7 +172,9 @@ let () =
     end
     else None
   in
-  let records = Bench_matching.run () @ Bench_matching.run_sharded () in
+  let records =
+    Bench_matching.run () @ Bench_matching.run_sharded () @ Bench_kernels.run ()
+  in
   (match recorder with
   | None -> ()
   | Some r ->

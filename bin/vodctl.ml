@@ -278,6 +278,16 @@ let sim_jobs_arg =
            sequential backend ignores extra workers).  Never changes the output, only \
            the wall-clock time.")
 
+let layout_arg =
+  Arg.(
+    value & flag
+    & info [ "layout" ]
+        ~doc:
+          "Solve each round through the component-clustered layout renumbering \
+           (cache-aware vertex ordering).  Results are emitted in original ids and \
+           are bit-identical to the direct solve; only the wall-clock time may \
+           change.")
+
 (* Names of the solver counters worth a one-line summary after a run. *)
 let solver_counters =
   [
@@ -289,8 +299,8 @@ let solver_counters =
   ]
 
 let simulate_cmd =
-  let run n u d c k m mu duration rounds seed scheme workload rate engine jobs csv load
-      obs_out obs_summary =
+  let run n u d c k m mu duration rounds seed scheme workload rate engine jobs layout
+      csv load obs_out obs_summary =
     try
       let params, fleet, alloc =
         match load with
@@ -319,7 +329,7 @@ let simulate_cmd =
       in
       let sim =
         Vod.Engine.create ~params ~fleet ~alloc ~policy:Vod.Engine.Continue
-          ~matching:engine ~jobs ()
+          ~matching:engine ~jobs ~layout ()
       in
       let g = Vod.Prng.create ~seed:(seed + 7) () in
       let gen =
@@ -412,7 +422,8 @@ let simulate_cmd =
       ret
         (const run $ n_arg $ u_arg $ d_arg $ c_arg $ k_arg $ m_arg $ mu_arg
        $ duration_arg $ rounds_arg $ seed_arg $ scheme_arg $ workload_arg $ rate_arg
-       $ engine_arg $ sim_jobs_arg $ csv_arg $ load_arg $ obs_out_arg $ obs_summary_arg))
+       $ engine_arg $ sim_jobs_arg $ layout_arg $ csv_arg $ load_arg $ obs_out_arg
+       $ obs_summary_arg))
 
 (* ------------------------------------------------------------------ *)
 (* attack                                                              *)
@@ -737,8 +748,8 @@ let check_cmd =
           Vod.Check.Fuzz.run ~seed ~instances ~scenarios ~rounds ?repro_dir ()
         in
         Printf.printf
-          "differential check (seed %d): %d bipartite instances x 13 solvers, %d \
-           scenarios x 7 engines (3 schedulers + 2 incremental + 2 sharded)\n"
+          "differential check (seed %d): %d bipartite instances x 17 solvers, %d \
+           scenarios x 9 engines (3 schedulers + 2 incremental + 2 sharded + 2 layout)\n"
           seed summary.Vod.Check.Fuzz.instances_checked
           summary.Vod.Check.Fuzz.scenarios_checked;
         Printf.printf

@@ -22,10 +22,10 @@ let solver_agreement inst =
      stronger than cardinality: the merged assignment must be
      bit-identical to the plain CSR Hopcroft-Karp's, because HK's
      phases never cross component boundaries. *)
-  let sharded ?max_shards ?jobs () =
+  let sharded ?max_shards ?jobs ?layout () =
     let sh = Vod_graph.Shard.create ?max_shards () in
     let csr = B.csr bip in
-    let size = Vod_graph.Shard.solve ?jobs sh csr in
+    let size = Vod_graph.Shard.solve ?jobs ?layout sh csr in
     {
       B.matched = size;
       assignment = Array.sub (Vod_graph.Shard.assignment sh) 0 (Vod_graph.Csr.n_left csr);
@@ -38,6 +38,28 @@ let solver_agreement inst =
       ("sharded", sharded ());
       ("sharded_jobs2", sharded ~jobs:2 ());
       ("sharded_single_shard", sharded ~max_shards:1 ());
+      ("sharded_layout", sharded ~layout:true ());
+    ]
+  in
+  (* Layout-renumbered runs of the exact kernels: the permutation is
+     order-preserving per component, so each must reproduce its
+     identity-layout counterpart bit for bit (DESIGN.md section 12).
+     Push-relabel's gap heuristic is global, so it stays off this
+     list. *)
+  let hk_layout = B.solve ~algorithm:B.Hopcroft_karp_matching ~layout:true bip in
+  let dinic_layout = B.solve ~algorithm:B.Dinic_flow ~layout:true bip in
+  let inc_layout =
+    B.solve_incremental (B.Incremental.create ()) ~warm_start:dinic.B.assignment
+      ~layout:true bip
+  in
+  let inc_plain =
+    B.solve_incremental (B.Incremental.create ()) ~warm_start:dinic.B.assignment bip
+  in
+  let layout_pairs =
+    [
+      ("hopcroft_karp_layout", hk_layout, "hopcroft_karp", hk);
+      ("dinic_layout", dinic_layout, "dinic", dinic);
+      ("incremental_warm_layout", inc_layout, "incremental_warm", inc_plain);
     ]
   in
   let outcomes =
@@ -61,6 +83,7 @@ let solver_agreement inst =
           ~warm_start:dinic.B.assignment () );
     ]
     @ sharded_variants
+    @ List.map (fun (name, o, _, _) -> (name, o)) layout_pairs
   in
   let* () =
     List.fold_left
@@ -92,6 +115,18 @@ let solver_agreement inst =
             (Printf.sprintf
                "%s: merged sharded assignment differs from hopcroft_karp's" name))
       (Ok ()) sharded_variants
+  in
+  let* () =
+    List.fold_left
+      (fun acc (name, o, ref_name, ref_o) ->
+        let* () = acc in
+        if o.B.assignment = ref_o.B.assignment && o.B.right_load = ref_o.B.right_load
+        then Ok ()
+        else
+          Error
+            (Printf.sprintf "%s: layout-renumbered outcome differs from %s's" name
+               ref_name))
+      (Ok ()) layout_pairs
   in
   match (B.hall_violator bip, reference = inst.Instance.n_left) with
   | None, true -> Ok reference
@@ -141,9 +176,9 @@ let audit_failure name engine (report : Engine.round_report) =
               else Ok ()))
 
 let scheduler_agreement ~params ~fleet ~alloc ?compensation ~rounds ~script () =
-  let mk ?matching scheduler =
+  let mk ?matching ?layout scheduler =
     Engine.create ~params ~fleet ~alloc ?compensation ~policy:Engine.Continue
-      ~scheduler ?matching ()
+      ~scheduler ?matching ?layout ()
   in
   (* The incremental engines ride in the same lockstep: every round,
      their served counts must equal the scratch arbitrary engine's
@@ -158,6 +193,11 @@ let scheduler_agreement ~params ~fleet ~alloc ?compensation ~rounds ~script () =
       ("sticky_incremental", mk ~matching:Engine.Incremental Engine.Sticky);
       ("arbitrary_sharded", mk ~matching:Engine.Sharded Engine.Arbitrary);
       ("sticky_sharded", mk ~matching:Engine.Sharded Engine.Sticky);
+      (* layout renumbering must be invisible in the lockstep: same
+         served counts, same certified failure rounds *)
+      ( "arbitrary_incremental_layout",
+        mk ~matching:Engine.Incremental ~layout:true Engine.Arbitrary );
+      ("arbitrary_sharded_layout", mk ~matching:Engine.Sharded ~layout:true Engine.Arbitrary);
     ]
   in
   let failure_rounds = ref 0 and certified = ref 0 in

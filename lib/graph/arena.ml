@@ -3,6 +3,7 @@
    int-array cells. *)
 
 type slab = { mutable buf : int array }
+type bitslab = { mutable bits : Vod_util.Bitset.t }
 
 type t = {
   assignment : slab;
@@ -18,6 +19,7 @@ type t = {
   matched_edge : slab;
   t_row_start : slab;
   t_eid : slab;
+  t_packed : slab;
   edge_left : slab;
   excess : slab;
   height : slab;
@@ -26,9 +28,14 @@ type t = {
   src_flow : slab;
   pr_it : slab;
   in_queue : slab;
+  free_left : bitslab;
+  free_right : bitslab;
+  frontier : bitslab;
+  visited_right : bitslab;
 }
 
 let slab () = { buf = [||] }
+let bitslab () = { bits = Vod_util.Bitset.create 0 }
 
 let create () =
   {
@@ -45,6 +52,7 @@ let create () =
     matched_edge = slab ();
     t_row_start = slab ();
     t_eid = slab ();
+    t_packed = slab ();
     edge_left = slab ();
     excess = slab ();
     height = slab ();
@@ -53,6 +61,10 @@ let create () =
     src_flow = slab ();
     pr_it = slab ();
     in_queue = slab ();
+    free_left = bitslab ();
+    free_right = bitslab ();
+    frontier = bitslab ();
+    visited_right = bitslab ();
   }
 
 let ints slab n =
@@ -66,6 +78,20 @@ let ints slab n =
   end;
   slab.buf
 
+(* Bitset slabs grow with the same power-of-two schedule as [ints], so
+   two bitslabs always requested with the same [n] (the kernels request
+   their right-side sets together) share a capacity and stay legal
+   operands of the word-sweep operations, which insist on equality. *)
+let bits bitslab n =
+  if Vod_util.Bitset.capacity bitslab.bits < n then begin
+    let cap = ref 8 in
+    while !cap < n do
+      cap := 2 * !cap
+    done;
+    bitslab.bits <- Vod_util.Bitset.create !cap
+  end;
+  bitslab.bits
+
 let assignment t = t.assignment.buf
 let right_load t = t.right_load.buf
 
@@ -74,8 +100,10 @@ let words t =
     [
       t.assignment; t.right_load; t.queue; t.warm; t.hk_dist; t.seat_start; t.seats;
       t.level; t.it_left; t.it_right; t.matched_edge; t.t_row_start; t.t_eid;
-      t.edge_left; t.excess; t.height; t.height_count; t.edge_flow; t.src_flow;
-      t.pr_it; t.in_queue;
+      t.t_packed; t.edge_left; t.excess; t.height; t.height_count; t.edge_flow;
+      t.src_flow; t.pr_it; t.in_queue;
     ]
   in
+  let bitslabs = [ t.free_left; t.free_right; t.frontier; t.visited_right ] in
   List.fold_left (fun acc s -> acc + Array.length s.buf) 0 slabs
+  + List.fold_left (fun acc b -> acc + Vod_util.Bitset.word_count b.bits) 0 bitslabs

@@ -20,6 +20,7 @@
     (property-tested in [test_graph]). *)
 
 type slab = { mutable buf : int array }
+type bitslab = { mutable bits : Vod_util.Bitset.t }
 
 type t = {
   (* results of the last solve *)
@@ -39,6 +40,7 @@ type t = {
   matched_edge : slab;  (** per left: CSR edge id carrying its unit, or -1 *)
   t_row_start : slab;  (** CSR transpose: per right, first incoming edge *)
   t_eid : slab;  (** transpose payload: original CSR edge ids *)
+  t_packed : slab;  (** transpose payload, packed [(left lsl 31) lor edge_id] *)
   edge_left : slab;  (** per CSR edge id: its left endpoint *)
   (* push-relabel (FIFO + gap heuristic) *)
   excess : slab;
@@ -48,6 +50,11 @@ type t = {
   src_flow : slab;  (** per left: 0/1 on the implicit source arc *)
   pr_it : slab;  (** current-arc pointers *)
   in_queue : slab;  (** 0/1 FIFO membership *)
+  (* word-parallel BFS scratch (Hopcroft-Karp and Dinic) *)
+  free_left : bitslab;  (** lefts still unmatched *)
+  free_right : bitslab;  (** rights with a free seat *)
+  frontier : bitslab;  (** rights reached by the layer being expanded *)
+  visited_right : bitslab;  (** rights absorbed by earlier layers *)
 }
 
 val create : unit -> t
@@ -57,6 +64,14 @@ val ints : slab -> int -> int array
 (** [ints slab n] grows [slab] to at least [n] cells (power-of-two
     doubling; newly grown cells are 0, surviving cells are dirty) and
     returns the backing array.  Borrowed: valid until the next growth. *)
+
+val bits : bitslab -> int -> Vod_util.Bitset.t
+(** [bits bitslab n] grows [bitslab] to capacity at least [n] (same
+    power-of-two schedule as [ints], so bitslabs requested with equal
+    [n] share a capacity and the word-sweep operations accept them
+    together) and returns the bitset.  Dirty like [ints]: the solver
+    must [clear] or [set_prefix] before reading.  Borrowed: valid until
+    the next growth. *)
 
 val assignment : t -> int array
 (** Backing array of the last solve's assignment (borrowed; entries

@@ -9,6 +9,7 @@ module F = Flow_network
 type t = {
   csr : Csr.t;
   mutable dedup : int array array option; (* memoised sorted adjacency rows *)
+  mutable layout : Layout.t option; (* lazily created renumbering pass *)
 }
 
 let validate_shape ~who ~n_left ~n_right ~right_cap =
@@ -22,7 +23,7 @@ let create ~n_left ~n_right ~right_cap =
   let csr = Csr.create () in
   Csr.reset csr ~n_left ~n_right;
   Array.iteri (fun r c -> Csr.set_right_cap csr r c) right_cap;
-  { csr; dedup = None }
+  { csr; dedup = None; layout = None }
 
 let reset t ~n_left ~n_right ~right_cap =
   validate_shape ~who:"Bipartite.reset" ~n_left ~n_right ~right_cap;
@@ -74,15 +75,26 @@ let outcome_of_arena t arena size =
     right_load = Array.sub (Arena.right_load arena) 0 (n_right t);
   }
 
-let solve ?arena ?(algorithm = Dinic_flow) t =
+let layout_of t =
+  match t.layout with
+  | Some lay -> lay
+  | None ->
+      let lay = Layout.create () in
+      t.layout <- Some lay;
+      lay
+
+let solve ?arena ?(algorithm = Dinic_flow) ?(layout = false) t =
   let arena = match arena with Some a -> a | None -> Arena.create () in
   let csr = csr t in
+  let lay = if layout then Some (layout_of t) else None in
+  let csr = match lay with Some l -> Layout.prepare l csr | None -> csr in
   let size =
     match algorithm with
     | Dinic_flow -> Dinic.solve_csr ~arena csr
     | Push_relabel_flow -> Push_relabel.solve_csr ~arena csr
     | Hopcroft_karp_matching -> Hopcroft_karp.solve_csr ~arena csr
   in
+  (match lay with Some l -> Layout.commit l arena | None -> ());
   outcome_of_arena t arena size
 
 (* ------------------------------------------------------------------ *)
@@ -425,7 +437,7 @@ module Incremental = struct
     done;
     (cleaned, !seated)
 
-  let solve st ?arena ?warm_start t =
+  let solve st ?arena ?warm_start ?(layout = false) t =
     let arena = match arena with Some a -> a | None -> Arena.create () in
     st.s_rounds <- st.s_rounds + 1;
     (match warm_start with
@@ -451,20 +463,29 @@ module Incremental = struct
     then begin
       st.s_full <- st.s_full + 1;
       Vod_obs.Registry.incr obs_fallbacks;
-      Vod_obs.Span.with_ ~name:"fallback" (fun () -> solve ~arena ~algorithm:st.algorithm t)
+      Vod_obs.Span.with_ ~name:"fallback" (fun () ->
+          solve ~arena ~algorithm:st.algorithm ~layout t)
     end
     else begin
       st.s_incremental <- st.s_incremental + 1;
       Vod_obs.Registry.incr obs_repairs;
       let outcome =
         Vod_obs.Span.with_ ~name:"repair" (fun () ->
+            let lay = if layout then Some (layout_of t) else None in
+            let instance =
+              match lay with Some l -> Layout.prepare l (csr t) | None -> csr t
+            in
+            let warm =
+              match lay with Some l -> Layout.project_warm l cleaned | None -> cleaned
+            in
             let size =
               match st.algorithm with
               | Hopcroft_karp_matching ->
-                  Hopcroft_karp.solve_csr ~warm_start:cleaned ~arena (csr t)
-              | Dinic_flow -> Dinic.solve_csr ~warm_start:cleaned ~arena (csr t)
+                  Hopcroft_karp.solve_csr ~warm_start:warm ~arena instance
+              | Dinic_flow -> Dinic.solve_csr ~warm_start:warm ~arena instance
               | Push_relabel_flow -> assert false
             in
+            (match lay with Some l -> Layout.commit l arena | None -> ());
             outcome_of_arena t arena size)
       in
       st.s_repaired <- st.s_repaired + (outcome.matched - seated);
@@ -473,4 +494,5 @@ module Incremental = struct
     end
 end
 
-let solve_incremental st ?arena ?warm_start t = Incremental.solve st ?arena ?warm_start t
+let solve_incremental st ?arena ?warm_start ?layout t =
+  Incremental.solve st ?arena ?warm_start ?layout t

@@ -69,13 +69,21 @@ type outcome = {
   right_load : int array;  (** Slots used per box. *)
 }
 
-val solve : ?arena:Arena.t -> ?algorithm:algorithm -> t -> outcome
+val solve : ?arena:Arena.t -> ?algorithm:algorithm -> ?layout:bool -> t -> outcome
 (** Maximum matching; default algorithm {!Dinic_flow}.  All three
     algorithms run their CSR/arena cores; pass [arena] (one per engine /
     harness / parallel task — arenas are not domain-safe) to reuse the
     scratch buffers across calls, otherwise a fresh arena is allocated.
     The returned [outcome] arrays are freshly allocated and owned by the
-    caller either way. *)
+    caller either way.
+
+    [layout] (default false) runs the solver on a {!Layout}
+    component-clustered renumbering of the instance and unpermutes the
+    result, so multi-component instances traverse contiguous memory.
+    For {!Hopcroft_karp_matching} and {!Dinic_flow} the outcome is
+    bit-identical to the identity layout (the permutation is
+    order-preserving per component — DESIGN.md section 12); for
+    {!Push_relabel_flow} only the matching size is guaranteed. *)
 
 val solve_legacy : ?algorithm:algorithm -> t -> outcome
 (** The historical solver paths — an explicit {!Flow_network} for
@@ -159,18 +167,27 @@ module Incremental : sig
       @raise Invalid_argument on {!Push_relabel_flow} or a threshold
       outside [0, 1]. *)
 
-  val solve : state -> ?arena:Arena.t -> ?warm_start:int array -> t -> outcome
+  val solve :
+    state -> ?arena:Arena.t -> ?warm_start:int array -> ?layout:bool -> t -> outcome
   (** [warm_start] maps each left to its previous server (or -1); seats
       invalidated by the delta are dropped before repair.  Omitting it
       is a cold start (counts as a full solve when [n_left > 0]).
       [arena] as in {!val:solve}: seat validation and both repair
-      backends run entirely in arena scratch.
+      backends run entirely in arena scratch.  [layout] as in
+      {!val:solve}: validated seats are projected into the permuted id
+      space before repair, and the outcome is unpermuted — bit-identical
+      for both backends.
       @raise Invalid_argument on a length mismatch. *)
 
   val stats : state -> stats
 end
 
 val solve_incremental :
-  Incremental.state -> ?arena:Arena.t -> ?warm_start:int array -> t -> outcome
+  Incremental.state ->
+  ?arena:Arena.t ->
+  ?warm_start:int array ->
+  ?layout:bool ->
+  t ->
+  outcome
 (** Alias for {!Incremental.solve}: maximum matching via warm-start
     delta repair with scratch fallback. *)

@@ -45,8 +45,11 @@ let exact_min_slot_ratio ~adj ~right_cap =
   if n_right > 62 then invalid_arg "Expander: exact scan limited to 62 right vertices";
   exact_scan adj (fun r -> float_of_int right_cap.(r)) n_right
 
-let slot_ratio adj right_cap members =
-  let seen = Bitset.create (Array.length right_cap) in
+(* [seen] is caller-provided scratch (capacity >= n_right), cleared
+   here — the greedy descent below re-evaluates the ratio O(n^2) times
+   per sample and must not allocate a bitset per evaluation. *)
+let slot_ratio seen adj right_cap members =
+  Bitset.clear seen;
   let slots = ref 0 and size = ref 0 in
   Array.iteri
     (fun l in_set ->
@@ -54,8 +57,8 @@ let slot_ratio adj right_cap members =
         incr size;
         Array.iter
           (fun r ->
-            if not (Bitset.mem seen r) then begin
-              Bitset.add seen r;
+            if not (Bitset.unsafe_mem seen r) then begin
+              Bitset.unsafe_add seen r;
               slots := !slots + right_cap.(r)
             end)
           adj.(l)
@@ -68,10 +71,11 @@ let sampled_min_slot_ratio g ~adj ~right_cap ~samples =
   if n = 0 then infinity
   else begin
     let best = ref infinity in
+    let seen = Bitset.create (max (Array.length right_cap) 1) in
     for _ = 1 to samples do
       let members = Array.init n (fun _ -> Prng.bool g) in
       if not (Array.exists Fun.id members) then members.(Prng.int g n) <- true;
-      let current = ref (slot_ratio adj right_cap members) in
+      let current = ref (slot_ratio seen adj right_cap members) in
       (* Greedy descent: drop any member whose removal lowers the ratio. *)
       let improved = ref true in
       while !improved do
@@ -79,7 +83,7 @@ let sampled_min_slot_ratio g ~adj ~right_cap ~samples =
         for l = 0 to n - 1 do
           if members.(l) then begin
             members.(l) <- false;
-            let candidate = slot_ratio adj right_cap members in
+            let candidate = slot_ratio seen adj right_cap members in
             if candidate < !current then begin
               current := candidate;
               improved := true

@@ -92,16 +92,22 @@ let fold_out_flow t v =
 
 let residual_reachable t ~src =
   let seen = Bitset.create t.n in
-  let queue = Queue.create () in
+  (* flat array queue: each vertex enters at most once, so [t.n] cells
+     bound the frontier — no boxed Queue cells on this hot audit path *)
+  let queue = Array.make (max t.n 1) 0 in
+  let head = ref 0 and tail = ref 0 in
   Bitset.add seen src;
-  Queue.add src queue;
-  while not (Queue.is_empty queue) do
-    let v = Queue.pop queue in
+  queue.(!tail) <- src;
+  incr tail;
+  while !head < !tail do
+    let v = queue.(!head) in
+    incr head;
     iter_arcs_from t v (fun a ->
         let w = arc_dst t a in
-        if residual t a > 0 && not (Bitset.mem seen w) then begin
-          Bitset.add seen w;
-          Queue.add w queue
+        if residual t a > 0 && not (Bitset.unsafe_mem seen w) then begin
+          Bitset.unsafe_add seen w;
+          queue.(!tail) <- w;
+          incr tail
         end)
   done;
   seen

@@ -1,3 +1,5 @@
+open Vod_util
+
 type result = { size : int; assignment : int array; right_load : int array }
 
 let infinity_dist = max_int
@@ -14,8 +16,25 @@ let obs_path_len = Vod_obs.Registry.histogram Vod_obs.Registry.default "hk.path_
    is an O(1) counter test and relaxing the occupants of [r] scans
    exactly [fill.(r)] cells.  The compaction invariant holds because a
    seat, once taken, is only ever transferred (displacement swaps the
-   occupant in place), never vacated, within one solve.  All scratch
-   lives in the arena: steady-state calls allocate nothing. *)
+   occupant in place), never vacated, within one solve.
+
+   The BFS is word-parallel and layered: each layer ORs its rows into a
+   right-side frontier bitset (one OR per edge, no membership branch),
+   strips already-visited rights with one and-not sweep, probes for a
+   free seat with one intersection sweep, and stops at the first layer
+   holding one — the classic Hopcroft-Karp shortest-phase rule, so each
+   phase augments only along shortest paths.  [dist] is versioned by a
+   per-phase [base] offset (values below [base] mean unvisited), which
+   replaces the O(n_left) distance fill each phase with one addition.
+
+   Phases restricted to one connected component behave exactly as a
+   solo run on that component: BFS layers, the free-seat probe and the
+   DFS never cross component boundaries, and a component whose shortest
+   free layer exceeds the global stop layer merely dead-marks a few
+   dist entries that the next phase's [base] bump revives.  This is the
+   component-local determinism contract [Shard] and [Layout] rely on
+   (DESIGN.md section 12).  All scratch lives in the arena:
+   steady-state calls allocate nothing. *)
 let solve_csr ?warm_start ~arena csr =
   let nl = Csr.n_left csr and nr = Csr.n_right csr in
   let row_start = Csr.row_start csr and col = Csr.col csr in
@@ -30,9 +49,28 @@ let solve_csr ?warm_start ~arena csr =
   let seats = Arena.ints arena.Arena.seats (max seat_start.(nr) 1) in
   let dist = Arena.ints arena.Arena.hk_dist (max nl 1) in
   let queue = Arena.ints arena.Arena.queue (max nl 1) in
+  let free_left = Arena.bits arena.Arena.free_left nl in
+  let free_right = Arena.bits arena.Arena.free_right nr in
+  let frontier = Arena.bits arena.Arena.frontier nr in
+  let visited = Arena.bits arena.Arena.visited_right nr in
   Array.fill match_left 0 nl (-1);
   Array.fill fill 0 nr 0;
+  (* versioned dist: 0 everywhere is "never visited" for every phase *)
+  Array.fill dist 0 nl 0;
+  Bitset.set_prefix free_left nl;
+  Bitset.clear free_right;
+  for r = 0 to nr - 1 do
+    if cap.(r) > 0 then Bitset.unsafe_add free_right r
+  done;
   let size = ref 0 in
+  (* seat [l] on [r]; caller guarantees a free seat and counts the size *)
+  let take_seat l r =
+    seats.(seat_start.(r) + fill.(r)) <- l;
+    let f = fill.(r) + 1 in
+    fill.(r) <- f;
+    if f = cap.(r) then Bitset.unsafe_remove free_right r;
+    match_left.(l) <- r
+  in
   (* Warm start: re-seat each request on its previous box when that box
      is still adjacent and has a free seat.  The seats form a valid
      partial matching, so the phases below only have to augment from the
@@ -55,42 +93,86 @@ let solve_csr ?warm_start ~arena csr =
             incr i
           done;
           if !adjacent then begin
-            seats.(seat_start.(r) + fill.(r)) <- l;
-            fill.(r) <- fill.(r) + 1;
-            match_left.(l) <- r;
+            take_seat l r;
+            Bitset.unsafe_remove free_left l;
             incr size
           end
         end
       done);
-  let bfs () =
-    let head = ref 0 and tail = ref 0 in
-    Array.fill dist 0 nl infinity_dist;
-    for l = 0 to nl - 1 do
-      if match_left.(l) = -1 then begin
-        dist.(l) <- 0;
-        queue.(!tail) <- l;
-        incr tail
-      end
+  (* Greedy first-fit pass: each free request takes the first adjacent
+     free seat.  Identical to what the first phase would do (depth-0
+     roots take the first free seat and never displace, because every
+     dist is equal), but with an early row break instead of a full
+     frontier build — most requests match here, so the phases below
+     start from a near-maximum matching. *)
+  let l = ref (Bitset.next_set_bit free_left 0) in
+  while !l >= 0 do
+    let li = !l in
+    let i = ref row_start.(li) in
+    let stop = row_start.(li + 1) in
+    let got = ref false in
+    while (not !got) && !i < stop do
+      let r = col.(!i) in
+      if Bitset.unsafe_mem free_right r then begin
+        take_seat li r;
+        Bitset.unsafe_remove free_left li;
+        incr size;
+        got := true
+      end;
+      incr i
     done;
+    l := Bitset.next_set_bit free_left (li + 1)
+  done;
+  let fw = Bitset.words frontier in
+  let wsh = Bitset.word_shift and bmask = Bitset.bit_mask in
+  let base = ref 1 in
+  let bfs () =
+    Bitset.clear visited;
+    let tail = ref 0 in
+    Bitset.iter
+      (fun l ->
+        dist.(l) <- !base;
+        queue.(!tail) <- l;
+        incr tail)
+      free_left;
     let found = ref false in
-    while !head < !tail do
-      let l = queue.(!head) in
-      incr head;
-      for i = row_start.(l) to row_start.(l + 1) - 1 do
-        let r = col.(i) in
-        if fill.(r) < cap.(r) then found := true
-        else begin
-          let stop = seat_start.(r) + fill.(r) in
-          for s = seat_start.(r) to stop - 1 do
-            let l' = seats.(s) in
-            if dist.(l') = infinity_dist then begin
-              dist.(l') <- dist.(l) + 1;
-              queue.(!tail) <- l';
-              incr tail
-            end
+    let exhausted = ref false in
+    let layer_start = ref 0 in
+    let d = ref 0 in
+    while (not !found) && not !exhausted do
+      let layer_end = !tail in
+      if !layer_start >= layer_end then exhausted := true
+      else begin
+        Bitset.clear frontier;
+        for qi = !layer_start to layer_end - 1 do
+          let lq = Array.unsafe_get queue qi in
+          for i = row_start.(lq) to row_start.(lq + 1) - 1 do
+            let r = Array.unsafe_get col i in
+            let w = r lsr wsh in
+            Array.unsafe_set fw w (Array.unsafe_get fw w lor (1 lsl (r land bmask)))
           done
+        done;
+        Bitset.andnot_into ~dst:frontier visited;
+        if Bitset.intersects frontier free_right then found := true
+        else begin
+          Bitset.union_into ~dst:visited frontier;
+          let dnext = !base + !d + 1 in
+          Bitset.iter
+            (fun r ->
+              let stop = seat_start.(r) + fill.(r) in
+              for s = seat_start.(r) to stop - 1 do
+                let l' = Array.unsafe_get seats s in
+                if dist.(l') < !base then begin
+                  dist.(l') <- dnext;
+                  queue.(!tail) <- l';
+                  incr tail
+                end
+              done)
+            frontier;
+          layer_start := layer_end;
+          incr d
         end
-      done
+      end
     done;
     !found
   in
@@ -103,11 +185,9 @@ let solve_csr ?warm_start ~arena csr =
     let stop_i = row_start.(l + 1) in
     while (not !success) && !i < stop_i do
       let r = col.(!i) in
-      if fill.(r) < cap.(r) then begin
+      if Bitset.unsafe_mem free_right r then begin
         found_depth := depth;
-        seats.(seat_start.(r) + fill.(r)) <- l;
-        fill.(r) <- fill.(r) + 1;
-        match_left.(l) <- r;
+        take_seat l r;
         success := true
       end
       else begin
@@ -127,18 +207,27 @@ let solve_csr ?warm_start ~arena csr =
       end;
       incr i
     done;
-    if not !success then dist.(l) <- infinity_dist;
+    (* dead mark: 0 is below every live [base], so the entry reads as
+       unvisited once the next phase bumps the version *)
+    if not !success then dist.(l) <- 0;
     !success
   in
   while bfs () do
     Vod_obs.Registry.incr obs_phases;
-    for l = 0 to nl - 1 do
-      if match_left.(l) = -1 && try_augment l 0 then begin
+    let l = ref (Bitset.next_set_bit free_left 0) in
+    while !l >= 0 do
+      let li = !l in
+      if try_augment li 0 then begin
+        Bitset.unsafe_remove free_left li;
         incr size;
         Vod_obs.Registry.incr obs_paths;
         Vod_obs.Registry.observe obs_path_len ((2 * !found_depth) + 1)
-      end
-    done
+      end;
+      l := Bitset.next_set_bit free_left (li + 1)
+    done;
+    (* phase values reach [base + d + 1 <= base + nl + 1]; the bump puts
+       the next phase's [base] above all of them *)
+    base := !base + nl + 2
   done;
   !size
 

@@ -1,0 +1,221 @@
+(* Cache-aware component-clustered vertex renumbering.
+
+   [prepare] labels connected components over the finalized edge set
+   (union-find over the packed edge list), orders them by first left
+   appearance and renumbers vertices so each component occupies a
+   contiguous id range, keeping ascending original order within a
+   component.  Degree-0 vertices go to the tail.  The permutation is
+   order-preserving per component, so:
+
+   - the permuted CSR can be emitted directly in finalized form
+     ([Csr.load_permuted], no counting sort), and
+   - the Hopcroft-Karp / Dinic kernels produce the bit-identical
+     matching after [commit] maps results back to original ids — their
+     behaviour restricted to a component only depends on the relative
+     order of that component's vertices (the determinism contract of
+     DESIGN.md section 12).
+
+   Instances that are already clustered (one giant component, or
+   components laid out contiguously) hit the identity fast path:
+   [prepare] returns the original instance and [commit] is a no-op.
+   All tables and the permuted instance are reused across calls, so
+   steady-state rounds allocate nothing. *)
+
+type t = {
+  permuted : Csr.t;
+  mutable left_old : int array; (* new left -> old left *)
+  mutable left_new : int array; (* old left -> new left *)
+  mutable right_old : int array;
+  mutable right_new : int array;
+  mutable scratch : int array; (* unpermute buffer for [commit] *)
+  mutable warm : int array; (* projected warm-start hints *)
+  mutable identity : bool;
+  mutable nl : int;
+  mutable nr : int;
+  (* union-find scratch over n_left + n_right vertices *)
+  mutable parent : int array;
+  mutable usize : int array;
+  mutable comp_of_root : int array;
+  mutable comp_cursor : int array;
+}
+
+let next_cap n =
+  let c = ref 8 in
+  while !c < n do
+    c := 2 * !c
+  done;
+  !c
+
+let ensure a n = if Array.length a >= n then a else Array.make (next_cap n) 0
+
+let create () =
+  {
+    permuted = Csr.create ();
+    left_old = [||];
+    left_new = [||];
+    right_old = [||];
+    right_new = [||];
+    scratch = [||];
+    warm = [||];
+    identity = true;
+    nl = 0;
+    nr = 0;
+    parent = [||];
+    usize = [||];
+    comp_of_root = [||];
+    comp_cursor = [||];
+  }
+
+let is_identity t = t.identity
+let left_old t = t.left_old
+let right_old t = t.right_old
+
+(* union-find: path halving + union by size *)
+let rec find parent i =
+  let p = parent.(i) in
+  if p = i then i
+  else begin
+    parent.(i) <- parent.(p);
+    find parent parent.(i)
+  end
+
+let union parent usize a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then begin
+    let ra, rb = if usize.(ra) >= usize.(rb) then (ra, rb) else (rb, ra) in
+    parent.(rb) <- ra;
+    usize.(ra) <- usize.(ra) + usize.(rb)
+  end
+
+let prepare t csr =
+  let nl = Csr.n_left csr and nr = Csr.n_right csr in
+  let m = Csr.n_edges csr in
+  let pe = Csr.packed_edges csr in
+  t.nl <- nl;
+  t.nr <- nr;
+  let nv = nl + nr in
+  let parent = ensure t.parent (max nv 1) in
+  let usize = ensure t.usize (max nv 1) in
+  t.parent <- parent;
+  t.usize <- usize;
+  for i = 0 to nv - 1 do
+    parent.(i) <- i;
+    usize.(i) <- 1
+  done;
+  for i = 0 to m - 1 do
+    let p = pe.(i) in
+    union parent usize (p lsr Csr.packed_shift) (nl + (p land Csr.packed_mask))
+  done;
+  (* dense component ids by first left appearance (the same numbering
+     as [Shard.partition]); -1 for degree-0 vertices *)
+  let comp_of_root = ensure t.comp_of_root (max nv 1) in
+  t.comp_of_root <- comp_of_root;
+  Array.fill comp_of_root 0 nv (-1);
+  let row_start = Csr.row_start csr in
+  let ncomp = ref 0 in
+  for l = 0 to nl - 1 do
+    if row_start.(l + 1) > row_start.(l) then begin
+      let r = find parent l in
+      if comp_of_root.(r) < 0 then begin
+        comp_of_root.(r) <- !ncomp;
+        incr ncomp
+      end
+    end
+  done;
+  let ncomp = !ncomp in
+  (* cluster: counting sort of lefts by component id, original order
+     within a component (stable); degree-0 lefts close the tail *)
+  let left_old = ensure t.left_old (max nl 1) in
+  let left_new = ensure t.left_new (max nl 1) in
+  let right_old = ensure t.right_old (max nr 1) in
+  let right_new = ensure t.right_new (max nr 1) in
+  let cursor = ensure t.comp_cursor (ncomp + 1) in
+  t.left_old <- left_old;
+  t.left_new <- left_new;
+  t.right_old <- right_old;
+  t.right_new <- right_new;
+  t.comp_cursor <- cursor;
+  Array.fill cursor 0 (ncomp + 1) 0;
+  for l = 0 to nl - 1 do
+    if row_start.(l + 1) > row_start.(l) then begin
+      let c = comp_of_root.(find parent l) in
+      cursor.(c) <- cursor.(c) + 1
+    end
+    else cursor.(ncomp) <- cursor.(ncomp) + 1
+  done;
+  let s = ref 0 in
+  for c = 0 to ncomp do
+    let n = cursor.(c) in
+    cursor.(c) <- !s;
+    s := !s + n
+  done;
+  let identity = ref true in
+  for l = 0 to nl - 1 do
+    let c =
+      if row_start.(l + 1) > row_start.(l) then comp_of_root.(find parent l) else ncomp
+    in
+    let l' = cursor.(c) in
+    cursor.(c) <- l' + 1;
+    left_old.(l') <- l;
+    left_new.(l) <- l';
+    if l' <> l then identity := false
+  done;
+  Array.fill cursor 0 (ncomp + 1) 0;
+  for r = 0 to nr - 1 do
+    let c = comp_of_root.(find parent (nl + r)) in
+    let c = if c < 0 then ncomp else c in
+    cursor.(c) <- cursor.(c) + 1
+  done;
+  let s = ref 0 in
+  for c = 0 to ncomp do
+    let n = cursor.(c) in
+    cursor.(c) <- !s;
+    s := !s + n
+  done;
+  for r = 0 to nr - 1 do
+    let c = comp_of_root.(find parent (nl + r)) in
+    let c = if c < 0 then ncomp else c in
+    let r' = cursor.(c) in
+    cursor.(c) <- r' + 1;
+    right_old.(r') <- r;
+    right_new.(r) <- r';
+    if r' <> r then identity := false
+  done;
+  t.identity <- !identity;
+  if !identity then csr
+  else begin
+    Csr.load_permuted t.permuted csr ~left_old ~right_old ~right_new;
+    t.permuted
+  end
+
+let project_warm t warm =
+  if t.identity then warm
+  else begin
+    let nl = t.nl and nr = t.nr in
+    if Array.length warm < nl then invalid_arg "Layout.project_warm: warm too short";
+    let out = ensure t.warm (max nl 1) in
+    t.warm <- out;
+    for l' = 0 to nl - 1 do
+      let r = warm.(t.left_old.(l')) in
+      out.(l') <- (if r >= 0 && r < nr then t.right_new.(r) else -1)
+    done;
+    out
+  end
+
+let commit t arena =
+  if not t.identity then begin
+    let nl = t.nl and nr = t.nr in
+    let assignment = Arena.assignment arena in
+    let right_load = Arena.right_load arena in
+    let scratch = ensure t.scratch (max (max nl nr) 1) in
+    t.scratch <- scratch;
+    Array.blit assignment 0 scratch 0 nl;
+    for l' = 0 to nl - 1 do
+      let r' = scratch.(l') in
+      assignment.(t.left_old.(l')) <- (if r' < 0 then -1 else t.right_old.(r'))
+    done;
+    Array.blit right_load 0 scratch 0 nr;
+    for r' = 0 to nr - 1 do
+      right_load.(t.right_old.(r')) <- scratch.(r')
+    done
+  end

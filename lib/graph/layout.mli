@@ -1,0 +1,54 @@
+(** Cache-aware component-clustered vertex renumbering.
+
+    Multi-component instances built by appending arrivals interleave
+    the components' vertices across the id space, so a BFS that stays
+    inside one component strides over the whole [dist] / adjacency
+    range.  [prepare] renumbers vertices so each connected component
+    occupies a contiguous id block (components ordered by first left
+    appearance, ascending original order within a component, degree-0
+    vertices at the tail) and returns a permuted instance for the
+    solver; [commit] maps the arena's [assignment] / [right_load] back
+    to original ids in place.
+
+    Because the permutation is order-preserving within every component,
+    the Hopcroft-Karp and Dinic kernels — whose tie-breaking restricted
+    to a component depends only on the relative order of that
+    component's vertices (DESIGN.md section 12) — return the
+    bit-identical matching after [commit].  Push-relabel's global gap
+    heuristic is not component-local, so only matching size is
+    preserved there.
+
+    Already-clustered instances (including the common one-component
+    case) take an identity fast path: [prepare] returns its argument
+    unchanged and [commit] is a no-op.  All tables and the permuted
+    instance are reused across calls; steady state allocates nothing. *)
+
+type t
+
+val create : unit -> t
+
+val prepare : t -> Csr.t -> Csr.t
+(** Analyse [csr] and return the instance the solver should run on:
+    [csr] itself when the layout is already clustered, otherwise a
+    borrowed permuted copy owned by [t] (invalidated by the next
+    [prepare]). *)
+
+val is_identity : t -> bool
+(** Whether the last [prepare] took the identity fast path. *)
+
+val left_old : t -> int array
+(** Borrowed [new -> old] left table from the last [prepare]; only
+    meaningful when [is_identity t = false]. *)
+
+val right_old : t -> int array
+(** Borrowed [new -> old] right table, as [left_old]. *)
+
+val project_warm : t -> int array -> int array
+(** Map warm-start hints (old left id -> old right id or [-1]) into the
+    permuted id space of the last [prepare].  Returns the argument
+    itself on the identity path, otherwise a borrowed buffer. *)
+
+val commit : t -> Arena.t -> unit
+(** Unpermute [Arena.assignment] and [Arena.right_load] in place so the
+    caller observes original ids.  No-op on the identity path.  Call
+    exactly once per solve. *)

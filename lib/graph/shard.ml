@@ -9,6 +9,7 @@ type shard = {
   csr : Csr.t;
   arena : Arena.t;
   reg : Registry.t;
+  layout : Layout.t; (* per-shard renumbering pass (opt-in at solve) *)
   mutable lefts : int array; (* local left -> global left *)
   mutable rights : int array; (* local right -> global right *)
   mutable n_left : int;
@@ -64,6 +65,7 @@ let fresh_shard () =
     csr = Csr.create ();
     arena = Arena.create ();
     reg = Registry.create ();
+    layout = Layout.create ();
     lefts = [||];
     rights = [||];
     n_left = 0;
@@ -145,10 +147,11 @@ let partition t csr =
     parent.(i) <- i;
     usize.(i) <- 1
   done;
-  for l = 0 to nl - 1 do
-    for i = row_start.(l) to row_start.(l + 1) - 1 do
-      union parent usize l (nl + col.(i))
-    done
+  let pe = Csr.packed_edges csr in
+  let m = Csr.n_edges csr in
+  for i = 0 to m - 1 do
+    let p = pe.(i) in
+    union parent usize (p lsr Csr.packed_shift) (nl + (p land Csr.packed_mask))
   done;
   (* dense component ids by first appearance, lefts ascending; a
      degree-0 vertex joins no component *)
@@ -261,7 +264,7 @@ let partition t csr =
   Registry.set m_shard_count k;
   Registry.set m_shard_components ncomp
 
-let solve ?jobs ?warm_start t csr =
+let solve ?jobs ?warm_start ?(layout = false) t csr =
   let nl = Csr.n_left csr and nr = Csr.n_right csr in
   (match warm_start with
   | Some w when Array.length w < nl -> invalid_arg "Shard.solve: warm_start too short"
@@ -291,7 +294,15 @@ let solve ?jobs ?warm_start t csr =
   let solve_one s =
     let sh = t.pool.(s) in
     let warm = match warm_start with None -> None | Some _ -> Some sh.warm in
-    let m = Hopcroft_karp.solve_csr ?warm_start:warm ~arena:sh.arena sh.csr in
+    let instance, warm =
+      if layout then begin
+        let instance = Layout.prepare sh.layout sh.csr in
+        (instance, Option.map (Layout.project_warm sh.layout) warm)
+      end
+      else (sh.csr, warm)
+    in
+    let m = Hopcroft_karp.solve_csr ?warm_start:warm ~arena:sh.arena instance in
+    if layout then Layout.commit sh.layout sh.arena;
     sh.matched <- m;
     Registry.incr (Registry.counter sh.reg "shard.solves");
     Registry.add (Registry.counter sh.reg "shard.lefts") sh.n_left;

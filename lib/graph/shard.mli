@@ -75,14 +75,18 @@ val shard_lefts : t -> int -> int array
 val shard_rights : t -> int -> int array
 (** Borrowed; per local right of shard [i], its global id. *)
 
-val solve : ?jobs:int -> ?warm_start:int array -> t -> Csr.t -> int
+val solve : ?jobs:int -> ?warm_start:int array -> ?layout:bool -> t -> Csr.t -> int
 (** [solve t csr] = [partition t csr], solve every shard (concurrently
     when [jobs > 1] on the domains backend), merge.  Returns the
     matching size; the merged assignment and right loads are read with
     {!assignment} / {!right_load}.  [warm_start] is a global
     left-to-right seating hint (length at least [n_left]); it is
     projected into per-shard hints (a seat outside the left's own
-    component is discarded — it could never be adjacent).
+    component is discarded — it could never be adjacent).  [layout]
+    (default false) additionally runs each shard's solver on a
+    {!Layout} component-clustered renumbering of the shard instance;
+    the merged result is bit-identical either way (the permutation is
+    order-preserving per component — DESIGN.md section 12).
     @raise Invalid_argument when [warm_start] is shorter than the
     instance's [n_left]. *)
 

@@ -100,6 +100,7 @@ type t = {
       (* warm-start matcher, Some iff matching = Incremental *)
   shard : Vod_graph.Shard.t option; (* Some iff matching = Sharded *)
   jobs : int; (* worker count for the sharded solver *)
+  layout : bool; (* component-clustered vertex renumbering before solves *)
   (* delta-CSR build tracking (Sharded only): which rows of the next
      round's instance can be blitted from the current one *)
   track_delta : bool;
@@ -133,7 +134,7 @@ let compute_capacity ~params ~fleet ~compensation ~factor b =
 
 let create ~params ~fleet ~alloc ?compensation ?(policy = Fail_fast)
     ?(preloading = true) ?(scheduler = Arbitrary) ?(matching = Scratch) ?(jobs = 1)
-    ?max_shards ?topology () =
+    ?max_shards ?(layout = false) ?topology () =
   let n = params.Params.n in
   if jobs < 1 then invalid_arg "Engine.create: jobs < 1";
   (match (scheduler, topology) with
@@ -190,6 +191,7 @@ let create ~params ~fleet ~alloc ?compensation ?(policy = Fail_fast)
       | Scratch | Incremental -> None
       | Sharded -> Some (Vod_graph.Shard.create ?max_shards ()));
     jobs;
+    layout;
     track_delta = (matching = Sharded);
     prev_requests = [||];
     touched = Hashtbl.create 64;
@@ -762,7 +764,8 @@ let step t =
      (see Shard's determinism contract). *)
   let solve_sharded sh =
     let size =
-      Vod_graph.Shard.solve ~jobs:t.jobs ~warm_start:(incremental_warm ()) sh
+      Vod_graph.Shard.solve ~jobs:t.jobs ~warm_start:(incremental_warm ())
+        ~layout:t.layout sh
         (Vod_graph.Bipartite.csr instance)
     in
     {
@@ -781,8 +784,8 @@ let step t =
             match t.inc_state with
             | Some st ->
                 Vod_graph.Bipartite.solve_incremental st ~arena:t.arena
-                  ~warm_start:(incremental_warm ()) instance
-            | None -> Vod_graph.Bipartite.solve ~arena:t.arena instance))
+                  ~warm_start:(incremental_warm ()) ~layout:t.layout instance
+            | None -> Vod_graph.Bipartite.solve ~arena:t.arena ~layout:t.layout instance))
     | Prefer_cache ->
         (* serving from a static replica costs 1, from a cache 0: among
            maximum matchings, minimise the load on the allocation *)
@@ -806,7 +809,7 @@ let step t =
                incremental analogue of the min-churn objective, at a
                fraction of the min-cost-flow price *)
                 Vod_graph.Bipartite.solve_incremental st ~arena:t.arena
-                  ~warm_start:(incremental_warm ()) instance
+                  ~warm_start:(incremental_warm ()) ~layout:t.layout instance
             | None ->
                 (* keeping last round's connection costs 0, rewiring
                    costs 1: among maximum matchings, minimise connection

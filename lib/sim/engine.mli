@@ -174,6 +174,7 @@ val create :
   ?matching:matching_engine ->
   ?jobs:int ->
   ?max_shards:int ->
+  ?layout:bool ->
   ?topology:Topology.t ->
   unit ->
   t
@@ -188,6 +189,11 @@ val create :
     shard solves — it never affects results, only wall-clock time —
     and [max_shards] (default 64) its shard-count bound, a property of
     the run, not of the machine, forwarded to {!Vod_graph.Shard.create}.
+    [layout] (default false) runs the exact solvers on a
+    component-clustered vertex renumbering ({!Vod_graph.Layout}) —
+    results are bit-identical, only memory locality changes; it applies
+    to the [Scratch], [Incremental] and [Sharded] engines' exact paths
+    (min-cost and greedy schedulers are unaffected).
     @raise Invalid_argument when fleet size, allocation, topology and
     params disagree, [Prefer_local] is chosen without a topology, or
     [jobs < 1]. *)

@@ -486,6 +486,42 @@ let test_shard_two_components () =
     (Invalid_argument "Shard.solve: warm_start too short") (fun () ->
       ignore (Shard.solve ~warm_start:[| 0 |] sh (Bipartite.csr b)))
 
+(* Swarm-scale lockstep with renumbering on: 2048 swarms of 128
+   requests x 32 boxes, interleaved across the id space (request [l]
+   belongs to swarm [l mod 2048]), so the layout pass computes a
+   genuinely non-trivial clustering permutation.  The sharded solve
+   with renumbering must still be bit-identical to plain CSR
+   Hopcroft-Karp. *)
+let test_shard_layout_lockstep_at_scale () =
+  let blocks = 2048 and block_lefts = 128 and block_rights = 32 and degree = 8 in
+  let n_left = blocks * block_lefts and n_right = blocks * block_rights in
+  let g = Prng.create ~seed:9 () in
+  let right_cap = Array.init n_right (fun _ -> 2 + Prng.int g 7) in
+  let b = Bipartite.create ~n_left ~n_right ~right_cap in
+  for l = 0 to n_left - 1 do
+    let swarm = l mod blocks in
+    for _ = 1 to degree do
+      (* right [swarm + blocks * j] is box [j] of this swarm *)
+      Bipartite.add_edge b ~left:l ~right:(swarm + (blocks * Prng.int g block_rights))
+    done
+  done;
+  let hk = Bipartite.solve ~algorithm:Bipartite.Hopcroft_karp_matching b in
+  let lay = Layout.create () in
+  let p = Layout.prepare lay (Bipartite.csr b) in
+  checkb "interleaved swarms renumber non-trivially" false (Layout.is_identity lay);
+  checkb "permuted instance is a fresh view" false (p == Bipartite.csr b);
+  let sh = Shard.create () in
+  let size = Shard.solve ~layout:true sh (Bipartite.csr b) in
+  checki "matched in lockstep" hk.Bipartite.matched size;
+  checkb "assignment bit-identical under renumbering" true
+    (Array.sub (Shard.assignment sh) 0 n_left = hk.Bipartite.assignment);
+  checkb "right_load bit-identical under renumbering" true
+    (Array.sub (Shard.right_load sh) 0 n_right = hk.Bipartite.right_load);
+  (* whole-instance layout path too: Bipartite.solve ~layout *)
+  let hk_layout = Bipartite.solve ~algorithm:Bipartite.Hopcroft_karp_matching ~layout:true b in
+  checkb "solve ~layout bit-identical" true
+    (outcome_triple hk_layout = outcome_triple hk)
+
 let test_delta_rebuild_freezes () =
   let b = Bipartite.create ~n_left:2 ~n_right:2 ~right_cap:[| 1; 1 |] in
   Bipartite.add_edge b ~left:0 ~right:0;
@@ -712,6 +748,89 @@ let qcheck_cases =
             && Array.sub (Shard.assignment sh) 0 n_left = hk.Bipartite.assignment
             && Array.sub (Shard.right_load sh) 0 n_right = hk.Bipartite.right_load)
           [ (1, 1); (1, 4); (2, 4); (4, 64) ]);
+    Test.make ~name:"layout permutation preserves edges, caps and order" ~count:150 arb
+      (fun (seed, n_left, n_right) ->
+        let g = Prng.create ~seed () in
+        (* sparse instances fragment into several interleaved components,
+           so the renumbering is frequently non-trivial *)
+        let adj, right_cap = random_bipartite g ~n_left ~n_right ~max_cap:3 ~edge_prob:0.25 in
+        let b = Bipartite.create ~n_left ~n_right ~right_cap in
+        Array.iteri
+          (fun l rs -> Array.iter (fun r -> Bipartite.add_edge b ~left:l ~right:r) rs)
+          adj;
+        let csr = Bipartite.csr b in
+        let lay = Layout.create () in
+        let p = Layout.prepare lay csr in
+        if Layout.is_identity lay then p == csr
+        else begin
+          let lo = Layout.left_old lay and ro = Layout.right_old lay in
+          let orig = Csr.to_adjacency csr and perm = Csr.to_adjacency p in
+          Csr.n_left p = n_left && Csr.n_right p = n_right
+          (* per-component order preservation: mapping a permuted row
+             back to original ids must reproduce the original row
+             verbatim, still ascending — no sort needed *)
+          && Array.for_all Fun.id
+               (Array.init n_left (fun l' -> Array.map (fun r' -> ro.(r')) perm.(l') = orig.(lo.(l'))))
+          && Array.for_all Fun.id
+               (Array.init n_right (fun r' -> Csr.right_cap p r' = right_cap.(ro.(r'))))
+          (* both tables are bijections *)
+          && List.sort_uniq compare (Array.to_list (Array.sub lo 0 n_left))
+             = List.init n_left Fun.id
+          && List.sort_uniq compare (Array.to_list (Array.sub ro 0 n_right))
+             = List.init n_right Fun.id
+        end);
+    Test.make ~name:"layout-renumbered solves equal identity-layout solves" ~count:100 arb
+      (fun (seed, n_left, n_right) ->
+        let g = Prng.create ~seed () in
+        let adj, right_cap = random_bipartite g ~n_left ~n_right ~max_cap:3 ~edge_prob:0.25 in
+        let b = Bipartite.create ~n_left ~n_right ~right_cap in
+        Array.iteri
+          (fun l rs -> Array.iter (fun r -> Bipartite.add_edge b ~left:l ~right:r) rs)
+          adj;
+        let hk = Bipartite.solve ~algorithm:Bipartite.Hopcroft_karp_matching b in
+        let exact_identical algorithm =
+          let plain = Bipartite.solve ~algorithm b in
+          outcome_triple (Bipartite.solve ~algorithm ~layout:true b) = outcome_triple plain
+        in
+        (* push-relabel's gap heuristic is global, not component-local:
+           only size and validity survive the renumbering *)
+        let pr = Bipartite.solve ~algorithm:Bipartite.Push_relabel_flow ~layout:true b in
+        let pr_valid =
+          let load = Array.make n_right 0 in
+          let ok = ref true in
+          Array.iteri
+            (fun l r ->
+              if r >= 0 then begin
+                if not (Array.mem r adj.(l)) then ok := false;
+                load.(r) <- load.(r) + 1
+              end)
+            pr.Bipartite.assignment;
+          Array.iteri (fun r c -> if c > right_cap.(r) then ok := false) load;
+          !ok && pr.Bipartite.matched = hk.Bipartite.matched
+        in
+        let sharded_identical =
+          let sh = Shard.create ~max_shards:4 () in
+          let size = Shard.solve ~layout:true sh (Bipartite.csr b) in
+          size = hk.Bipartite.matched
+          && Array.sub (Shard.assignment sh) 0 n_left = hk.Bipartite.assignment
+          && Array.sub (Shard.right_load sh) 0 n_right = hk.Bipartite.right_load
+        in
+        let incremental_identical =
+          let plain =
+            Bipartite.solve_incremental
+              (Bipartite.Incremental.create ())
+              ~warm_start:hk.Bipartite.assignment b
+          in
+          let renumbered =
+            Bipartite.solve_incremental
+              (Bipartite.Incremental.create ())
+              ~warm_start:hk.Bipartite.assignment ~layout:true b
+          in
+          outcome_triple renumbered = outcome_triple plain
+        in
+        exact_identical Bipartite.Hopcroft_karp_matching
+        && exact_identical Bipartite.Dinic_flow
+        && pr_valid && sharded_identical && incremental_identical);
     Test.make ~name:"delta rebuilds track scratch builds under churn" ~count:60 arb
       (fun (seed, n_left, n_right) ->
         let g = Prng.create ~seed () in
@@ -839,6 +958,7 @@ let suites =
     ( "graph.shard",
       [
         Alcotest.test_case "two components" `Quick test_shard_two_components;
+        Alcotest.test_case "layout lockstep at scale" `Slow test_shard_layout_lockstep_at_scale;
         Alcotest.test_case "delta rebuild freezes" `Quick test_delta_rebuild_freezes;
       ] );
     ("graph.properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
