@@ -1,4 +1,4 @@
-.PHONY: all build test check fuzz battery bench bench-quick bench-json bench-compare obs-gate fmt clean
+.PHONY: all build test check fuzz battery serve bench bench-quick bench-json bench-compare obs-gate fmt clean
 
 all: build
 
@@ -32,6 +32,15 @@ fuzz: check
 battery: build
 	dune exec bin/vodctl.exe -- battery examples/battery --jobs 2 --out battery_scorecard.jsonl
 
+# Service-mode smoke: the storm scenario (flash crowds over a group
+# outage) through `vodctl serve` — admission control, backpressure and
+# deadline-aware recovery.  Nonzero exit on any stall among admitted
+# sessions, a retry storm past the backoff budget, or an SLO breach;
+# the vod-serve/1 verdict stream lands in serve_verdicts.jsonl,
+# byte-identical at any --jobs.
+serve: build
+	dune exec bin/vodctl.exe -- serve --scn examples/service_storm.scn --jobs 2 --replications 3 --out serve_verdicts.jsonl
+
 # Extra flags pass through: make bench BENCH_ARGS="--no-micro"
 bench:
 	dune exec bench/main.exe -- $(BENCH_ARGS)
@@ -44,7 +53,9 @@ bench-quick:
 # bare CSR Hopcroft-Karp records (ns, matched and allocated bytes per
 # round) at n in {256, 1024, 4096, 16384}, plus the component-sharded
 # swarm points at n in {262144, 1000000} (delta-CSR rebuild + sharded
-# solve per round), written to BENCH_matching.json at the repo root.
+# solve per round) and the service-loop points (`vodctl serve` round
+# cost and admission-decision latency at n=16384, bench_serve.ml),
+# written to BENCH_matching.json at the repo root.
 # The printed output also carries the catalog-scaling sweep (ns/round/n
 # across six orders of magnitude — Theorem 1's linear admission cost).
 bench-json:

@@ -174,6 +174,7 @@ let () =
   in
   let records =
     Bench_matching.run () @ Bench_matching.run_sharded () @ Bench_kernels.run ()
+    @ Bench_serve.run ()
   in
   (match recorder with
   | None -> ()

@@ -1024,6 +1024,274 @@ let chaos_cmd =
        $ jobs_arg $ out_arg $ slo_out_arg $ obs_out_arg $ obs_summary_arg))
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run scn rounds seed arrivals policy queue_cap retry_budget replications jobs out
+      slo_out obs_out obs_summary =
+    if replications < 1 then `Error (false, "need at least 1 replication")
+    else
+      let scenario_res =
+        match scn with
+        | Some path -> Vod.Fault.Scenario.load ~path
+        | None -> Ok Vod.Fault.Scenario.default
+      in
+      match scenario_res with
+      | Error e -> `Error (false, e)
+      | Ok scenario -> (
+          let scenario =
+            match seed with
+            | Some seed -> { scenario with Vod.Fault.Scenario.seed }
+            | None -> scenario
+          in
+          match Vod.Serve.arrivals_of_name arrivals with
+          | Error e -> `Error (false, e)
+          | Ok arrivals -> (
+              match Vod.Serve.shed_policy_of_name policy with
+              | Error e -> `Error (false, e)
+              | Ok shed_policy -> (
+                  match
+                    Vod.Serve.config ?queue_cap ?retry_budget ~shed_policy ()
+                  with
+                  | exception Invalid_argument e -> `Error (false, e)
+                  | config -> (
+                      let obs_on = obs_out <> None || obs_summary in
+                      let obs_traces = ref [] in
+                      let result =
+                        if obs_on then begin
+                          (* per-replication recorder, sequential (see
+                             warn_obs_sequential); seeds follow run_many's
+                             formula so the streams match a plain run *)
+                          warn_obs_sequential jobs;
+                          match Vod.Serve.validate scenario with
+                          | Error _ as err -> err
+                          | Ok () ->
+                              let rec go i acc =
+                                if i = replications then Ok (List.rev acc)
+                                else begin
+                                  Vod.Obs.Registry.reset Vod.Obs.Registry.default;
+                                  let r = Vod.Obs.Span.create_recorder () in
+                                  Vod.Obs.Span.install r;
+                                  let res =
+                                    Vod.Serve.run ?rounds
+                                      ~seed:(scenario.Vod.Fault.Scenario.seed + (1000 * i))
+                                      ~config ~arrivals scenario
+                                  in
+                                  Vod.Obs.Span.uninstall ();
+                                  match res with
+                                  | Error _ as err -> err
+                                  | Ok o ->
+                                      (match obs_out with
+                                      | None -> ()
+                                      | Some base ->
+                                          let p =
+                                            if replications = 1 then base
+                                            else suffixed base (Printf.sprintf ".rep%d" i)
+                                          in
+                                          Vod.Obs.Export.save
+                                            ~registry:Vod.Obs.Registry.default r ~path:p;
+                                          Printf.eprintf
+                                            "observability trace (rep %d) written to %s\n" i
+                                            p);
+                                      if obs_summary then
+                                        obs_traces :=
+                                          ( i,
+                                            Vod.Obs.Report.of_recorder
+                                              ~registry:Vod.Obs.Registry.default r )
+                                          :: !obs_traces;
+                                      go (i + 1) (o :: acc)
+                                end
+                              in
+                              go 0 []
+                        end
+                        else if replications = 1 then
+                          Result.map
+                            (fun o -> [ o ])
+                            (Vod.Serve.run ?rounds ~config ~arrivals scenario)
+                        else
+                          Vod.Serve.run_many ?rounds ?jobs ~config ~arrivals ~replications
+                            scenario
+                      in
+                      match result with
+                      | Error e -> `Error (false, e)
+                      | Ok outcomes ->
+                          (* vod-serve/1, replications concatenated in order:
+                             byte-identical at any --jobs value *)
+                          let jsonl =
+                            String.concat ""
+                              (List.map (fun o -> o.Vod.Serve.jsonl) outcomes)
+                          in
+                          (match out with
+                          | None -> print_string jsonl
+                          | Some path ->
+                              Out_channel.with_open_text path (fun oc ->
+                                  Out_channel.output_string oc jsonl);
+                              Printf.eprintf "serve verdict stream written to %s\n" path);
+                          (match slo_out with
+                          | None -> ()
+                          | Some path ->
+                              let slo =
+                                String.concat ""
+                                  (List.map (fun o -> o.Vod.Serve.slo_jsonl) outcomes)
+                              in
+                              Out_channel.with_open_text path (fun oc ->
+                                  Out_channel.output_string oc slo);
+                              Printf.eprintf "SLO verdict stream written to %s\n" path);
+                          List.iter
+                            (fun (i, trace) ->
+                              Printf.printf
+                                "--- observability summary: replication %d ---\n" i;
+                              Vod.Obs.Report.print_summary trace)
+                            (List.rev !obs_traces);
+                          List.iteri
+                            (fun i o ->
+                              let t = o.Vod.Serve.totals in
+                              Printf.eprintf
+                                "rep %d (seed %d): %s; %d arrivals (%d flash), %d \
+                                 admitted, %d completed, %d shed, %d rejected, %d \
+                                 retries over %d sessions, %d interrupted, %d expired, \
+                                 %d helpers drafted, max queue %d, %d degraded rounds, \
+                                 unserved %d\n"
+                                i o.Vod.Serve.seed
+                                ((if Vod.Serve.verdict_ok o then "GRACEFUL" else "STALLED")
+                                ^
+                                if Vod.Serve.slo_breached o then " (SLO BREACH)" else "")
+                                t.Vod.Serve.arrivals t.Vod.Serve.flash_arrivals
+                                t.Vod.Serve.admitted t.Vod.Serve.completed t.Vod.Serve.shed
+                                t.Vod.Serve.rejected t.Vod.Serve.retries
+                                t.Vod.Serve.retry_sessions t.Vod.Serve.interrupted
+                                t.Vod.Serve.expired t.Vod.Serve.helpers_drafted
+                                t.Vod.Serve.max_queue t.Vod.Serve.degraded_rounds
+                                t.Vod.Serve.total_unserved)
+                            outcomes;
+                          let bad o =
+                            (not (Vod.Serve.verdict_ok o)) || Vod.Serve.slo_breached o
+                          in
+                          if not (List.exists bad outcomes) then `Ok ()
+                          else
+                            `Error
+                              ( false,
+                                Printf.sprintf
+                                  "%d of %d replications stalled admitted sessions, \
+                                   blew the retry budget or breached an SLO"
+                                  (List.length (List.filter bad outcomes))
+                                  (List.length outcomes) )))))
+  in
+  let scn_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scn" ] ~docv:"FILE"
+          ~doc:
+            "Scenario file driving faults, helpers and kpi budgets (default: the \
+             built-in crash/rejoin scenario).")
+  in
+  let serve_rounds_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rounds" ] ~docv:"R" ~doc:"Override the scenario's round count.")
+  in
+  let serve_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Override the scenario's seed.")
+  in
+  let arrivals_arg =
+    Arg.(
+      value & opt string "scenario"
+      & info [ "arrivals" ] ~docv:"SPEC"
+          ~doc:
+            "Arrival process: $(b,scenario) (the scenario's rate), $(b,poisson:RATE) or \
+             $(b,zipf:RATE:S).")
+  in
+  let policy_arg =
+    Arg.(
+      value & opt string "newest-first"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Overload shed policy: $(b,newest-first), $(b,lowest-priority) or \
+             $(b,helper-first) (draft standby helpers before shedding).")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue-cap" ] ~docv:"N" ~doc:"Bounded arrival-queue length (default 256).")
+  in
+  let retry_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retry-budget" ] ~docv:"N"
+          ~doc:"Max retries per session before it is dropped (default 3).")
+  in
+  let replications_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "replications" ] ~docv:"N"
+          ~doc:"Independent replications (replication $(i,i) runs at seed + 1000*i).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"J"
+          ~doc:"Workers for parallel replications; the output is independent of $(docv).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the vod-serve/1 JSONL stream to FILE instead of stdout.")
+  in
+  let slo_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slo-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the vod-slo/1 burn-rate stream (stall SLO plus SLOs compiled from \
+             the scenario's kpi budgets) to FILE.")
+  in
+  let obs_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-out" ] ~docv:"FILE"
+          ~doc:
+            "Record an observability trace per replication and write it to FILE \
+             (.rep$(i,i) suffix when there are several); forces sequential \
+             replications.")
+  in
+  let obs_summary_arg =
+    Arg.(
+      value & flag
+      & info [ "obs-summary" ]
+          ~doc:
+            "Record observability traces and print a per-phase timing table per \
+             replication; forces sequential replications.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the event-driven service mode: continuous arrivals through admission \
+          control (token bucket + measured headroom + the paper's swarm-growth bound), \
+          bounded-queue backpressure, deadline-aware retry/recovery, and policy-driven \
+          shedding under overload — while the scenario's fault plan fires against the \
+          running service.  Emits a deterministic vod-serve/1 JSONL stream; exit 0 iff \
+          every replication kept admitted sessions stall-free, within retry budget and \
+          inside its SLOs.")
+    Term.(
+      ret
+        (const run $ scn_arg $ serve_rounds_arg $ serve_seed_arg $ arrivals_arg
+       $ policy_arg $ queue_cap_arg $ retry_budget_arg $ replications_arg $ jobs_arg
+       $ out_arg $ slo_out_arg $ obs_out_arg $ obs_summary_arg))
+
+(* ------------------------------------------------------------------ *)
 (* battery                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1514,6 +1782,7 @@ let () =
             plan_cmd;
             check_cmd;
             chaos_cmd;
+            serve_cmd;
             battery_cmd;
             obs_report_cmd;
             top_cmd;

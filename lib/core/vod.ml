@@ -67,6 +67,17 @@ module Fault = Vod_fault
     controller ([Fault.Mend]) and the deterministic chaos runner
     ([Fault.Chaos]). *)
 
+module Serve = Vod_serve.Serve
+(** The long-running service mode: event-driven admission control,
+    bounded-queue backpressure and deadline-aware session recovery
+    around the engine ([Serve.run]), driven by continuous arrivals and
+    the scenario's fault plan — the [vodctl serve] runner. *)
+
+module Session = Vod_proto.Session
+(** The per-client control-plane state machine the service drives
+    ([Arriving -> Admitted -> Streaming -> Completed] with retry /
+    shed / reject exits). *)
+
 module Battery = Vod_battery
 (** The scenario battery: (engine config × scenario) matrices run
     through the chaos runner into a deterministic ranked KPI scorecard

@@ -10,6 +10,17 @@ let obs_rejoins = Registry.counter Registry.default "fault.rejoins"
 let obs_degradations = Registry.counter Registry.default "fault.degradations"
 let obs_flash_demands = Registry.counter Registry.default "fault.flash_demands"
 
+(* Demands the engine would not take — historically skipped with no
+   trace; Engine.try_demand classifies them so churn-time load loss is
+   visible in the registry. *)
+let obs_demands_queued = Registry.counter Registry.default "fault.demands_queued"
+let obs_demands_rejected = Registry.counter Registry.default "fault.demands_rejected"
+
+let count_admit = function
+  | Engine.Admitted -> ()
+  | Engine.Queued -> Registry.incr obs_demands_queued
+  | Engine.Rejected _ -> Registry.incr obs_demands_rejected
+
 type alloc_scheme = Permutation | Round_robin
 
 type engine_config = {
@@ -319,8 +330,9 @@ let run ?rounds ?seed ?(config = default_config) ?on_round (s : Scenario.t) =
             Sample.shuffle crowd_rng idle;
             let take = min viewers (Array.length idle) in
             for i = 0 to take - 1 do
-              Engine.demand engine ~box:idle.(i) ~video;
-              Registry.incr obs_flash_demands
+              match Engine.try_demand engine ~box:idle.(i) ~video with
+              | Engine.Admitted -> Registry.incr obs_flash_demands
+              | admit -> count_admit admit
             done;
             ignore time
         | Plan.Group_crash _ | Plan.Group_rejoin _ | Plan.Group_degrade _ | Plan.Group_restore _
@@ -332,9 +344,7 @@ let run ?rounds ?seed ?(config = default_config) ?on_round (s : Scenario.t) =
         let time = Engine.now engine + 1 in
         List.iter (apply_event time) (Plan.events_at plan time);
         List.iter
-          (fun (box, video) ->
-            if Engine.is_online engine box && Engine.is_idle engine box then
-              Engine.demand engine ~box ~video)
+          (fun (box, video) -> count_admit (Engine.try_demand engine ~box ~video))
           (workload engine time);
         Mend.tick mend engine;
         let report = Engine.step engine in

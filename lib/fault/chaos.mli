@@ -80,6 +80,19 @@ val validate : Scenario.t -> (unit, string) result
     helper ranges and topology), catalog fit against the {e base}
     fleet, flash-crowd videos inside the catalog. *)
 
+val prepare :
+  Scenario.t ->
+  ( Vod_model.Box.t array
+    * Vod_model.Box.t array
+    * int
+    * Vod_model.Topology.t option
+    * (int * int) array,
+    string )
+  result
+(** The validated system build behind {!validate}, shared with the
+    service layer ({!Vod_serve}): [(base fleet, full fleet with helper
+    boxes appended, catalog size, topology, helper ranges)]. *)
+
 val run :
   ?rounds:int ->
   ?seed:int ->

@@ -41,8 +41,7 @@ type t = {
   cfg : config;
   rng : Prng.t;
   mutable in_flight : transfer list;
-  attempts : (int, int) Hashtbl.t;  (* stripe -> failed attempts *)
-  next_try : (int, int) Hashtbl.t;  (* stripe -> earliest retry round *)
+  backoff : Backoff.t;  (* per-stripe retry schedule, keyed by stripe id *)
   detected_at : (int, int) Hashtbl.t;  (* stripe -> round first seen under *)
   mutable started : int;
   mutable completed : int;
@@ -56,8 +55,11 @@ let create ?(seed = 42) cfg =
     cfg;
     rng = Prng.create ~seed ();
     in_flight = [];
-    attempts = Hashtbl.create 16;
-    next_try = Hashtbl.create 16;
+    (* the jitterless policy: repair retries must replay the historical
+       base * 2^(a-1) schedule bit for bit *)
+    backoff =
+      Backoff.create ~policy:Backoff.Exponential ~base:cfg.backoff_base ~cap:cfg.backoff_cap
+        ();
     detected_at = Hashtbl.create 16;
     started = 0;
     completed = 0;
@@ -85,20 +87,10 @@ let stats (t : t) : stats =
     in_flight = List.length t.in_flight;
   }
 
-let attempts_of (t : t) s = try Hashtbl.find t.attempts s with Not_found -> 0
-
-let backoff_delay (t : t) s =
-  let a = attempts_of t s in
-  (* base * 2^(a-1), capped; a >= 1 when consulted *)
-  let d = ref t.cfg.backoff_base in
-  for _ = 2 to a do
-    if !d < t.cfg.backoff_cap then d := !d * 2
-  done;
-  min !d t.cfg.backoff_cap
+let attempts_of (t : t) s = Backoff.attempts t.backoff ~key:s
 
 let record_failure (t : t) ~stripe ~time =
-  Hashtbl.replace t.attempts stripe (attempts_of t stripe + 1);
-  Hashtbl.replace t.next_try stripe (time + backoff_delay t stripe)
+  ignore (Backoff.record_failure t.backoff ~key:stripe ~time : Backoff.verdict)
 
 let tick (t : t) e =
   let time = Engine.now e + 1 in
@@ -146,8 +138,7 @@ let tick (t : t) e =
   List.iter
     (fun s ->
       Hashtbl.remove t.detected_at s;
-      Hashtbl.remove t.attempts s;
-      Hashtbl.remove t.next_try s)
+      Backoff.reset t.backoff ~key:s)
     healed;
   (* 3. schedule new transfers under the bandwidth budget.  Free storage
      accounts for slots already promised to in-flight destinations. *)
@@ -166,7 +157,7 @@ let tick (t : t) e =
       if
         !slots > 0
         && (not (List.exists (fun tr -> tr.stripe = s) t.in_flight))
-        && (try Hashtbl.find t.next_try s with Not_found -> 0) <= time
+        && Backoff.ready t.backoff ~key:s ~time
       then begin
         let holders = Allocation.boxes_of_stripe alloc s in
         let has_donor = Array.exists (fun b -> alive.(b)) holders in
@@ -219,8 +210,7 @@ let collect (t : t) e =
           (match Hashtbl.find_opt t.detected_at stripe with
           | Some d -> Registry.observe obs_time_to_repair (max 0 (now - d))
           | None -> ());
-          Hashtbl.remove t.attempts stripe;
-          Hashtbl.remove t.next_try stripe;
+          Backoff.reset t.backoff ~key:stripe;
           if not (Array.mem dest per_stripe.(stripe)) then begin
             per_stripe.(stripe) <- Array.append per_stripe.(stripe) [| dest |];
             incr installed;

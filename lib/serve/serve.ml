@@ -1,0 +1,918 @@
+open Vod_util
+open Vod_model
+module Engine = Vod_sim.Engine
+module Scenario = Vod_fault.Scenario
+module Plan = Vod_fault.Plan
+module Chaos = Vod_fault.Chaos
+module Mend = Vod_fault.Mend
+module Session = Vod_proto.Session
+module Generators = Vod_workload.Generators
+module Registry = Vod_obs.Registry
+module Slo = Vod_obs.Slo
+module Timeseries = Vod_obs.Timeseries
+
+let obs_arrivals = Registry.counter Registry.default "serve.arrivals"
+let obs_admitted = Registry.counter Registry.default "serve.admitted"
+let obs_completed = Registry.counter Registry.default "serve.completed"
+let obs_shed = Registry.counter Registry.default "serve.shed"
+let obs_rejected = Registry.counter Registry.default "serve.rejected"
+let obs_retries = Registry.counter Registry.default "serve.retries"
+let obs_interrupted = Registry.counter Registry.default "serve.interrupted"
+let obs_expired = Registry.counter Registry.default "serve.expired"
+let obs_degraded_rounds = Registry.counter Registry.default "serve.degraded_rounds"
+let obs_stalled_rounds = Registry.counter Registry.default "serve.stalled_rounds"
+let obs_queue_wait = Registry.histogram Registry.default "serve.queue_wait"
+
+type shed_policy = Newest_first | Lowest_priority | Helper_first
+
+let shed_policy_name = function
+  | Newest_first -> "newest-first"
+  | Lowest_priority -> "lowest-priority"
+  | Helper_first -> "helper-first"
+
+let shed_policy_of_name = function
+  | "newest-first" -> Ok Newest_first
+  | "lowest-priority" -> Ok Lowest_priority
+  | "helper-first" -> Ok Helper_first
+  | name -> Error (Printf.sprintf "unknown shed policy '%s'" name)
+
+type config = {
+  queue_cap : int;
+  tokens_per_round : int option;
+  token_burst : int option;
+  headroom_margin : float;
+  startup_deadline : int;
+  queue_patience : int;
+  retry_budget : int;
+  backoff_base : int;
+  backoff_cap : int;
+  shed_policy : shed_policy;
+}
+
+let default_config =
+  {
+    queue_cap = 256;
+    tokens_per_round = None;
+    token_burst = None;
+    headroom_margin = 0.1;
+    startup_deadline = 8;
+    queue_patience = 12;
+    retry_budget = 3;
+    backoff_base = 2;
+    backoff_cap = 16;
+    shed_policy = Newest_first;
+  }
+
+let config ?queue_cap ?tokens_per_round ?token_burst ?headroom_margin ?startup_deadline
+    ?queue_patience ?retry_budget ?backoff_base ?backoff_cap ?shed_policy () =
+  let d = default_config in
+  let cfg =
+    {
+      queue_cap = Option.value queue_cap ~default:d.queue_cap;
+      tokens_per_round =
+        (match tokens_per_round with Some t -> Some t | None -> d.tokens_per_round);
+      token_burst = (match token_burst with Some t -> Some t | None -> d.token_burst);
+      headroom_margin = Option.value headroom_margin ~default:d.headroom_margin;
+      startup_deadline = Option.value startup_deadline ~default:d.startup_deadline;
+      queue_patience = Option.value queue_patience ~default:d.queue_patience;
+      retry_budget = Option.value retry_budget ~default:d.retry_budget;
+      backoff_base = Option.value backoff_base ~default:d.backoff_base;
+      backoff_cap = Option.value backoff_cap ~default:d.backoff_cap;
+      shed_policy = Option.value shed_policy ~default:d.shed_policy;
+    }
+  in
+  if cfg.queue_cap < 1 then invalid_arg "Serve.config: queue_cap must be >= 1";
+  (match cfg.tokens_per_round with
+  | Some t when t < 1 -> invalid_arg "Serve.config: tokens_per_round must be >= 1"
+  | _ -> ());
+  (match cfg.token_burst with
+  | Some t when t < 1 -> invalid_arg "Serve.config: token_burst must be >= 1"
+  | _ -> ());
+  if
+    (not (Float.is_finite cfg.headroom_margin))
+    || cfg.headroom_margin < 0.0 || cfg.headroom_margin >= 1.0
+  then invalid_arg "Serve.config: headroom_margin outside [0, 1)";
+  if cfg.startup_deadline < 1 then invalid_arg "Serve.config: startup_deadline must be >= 1";
+  if cfg.queue_patience < 1 then invalid_arg "Serve.config: queue_patience must be >= 1";
+  if cfg.retry_budget < 1 then invalid_arg "Serve.config: retry_budget must be >= 1";
+  if cfg.backoff_base < 1 then invalid_arg "Serve.config: backoff base must be >= 1";
+  if cfg.backoff_cap < cfg.backoff_base then
+    invalid_arg "Serve.config: backoff cap must be >= base";
+  cfg
+
+type arrivals =
+  | Scenario_rate
+  | Poisson of float
+  | Zipf of { rate : float; s : float }
+  | Trace of (int * int * int) list
+
+let arrivals_of_name name =
+  match String.split_on_char ':' name with
+  | [ "scenario" ] -> Ok Scenario_rate
+  | [ "poisson"; r ] -> (
+      match float_of_string_opt r with
+      | Some rate when Float.is_finite rate && rate >= 0.0 -> Ok (Poisson rate)
+      | _ -> Error (Printf.sprintf "bad poisson rate '%s'" r))
+  | [ "zipf"; r; s ] -> (
+      match (float_of_string_opt r, float_of_string_opt s) with
+      | Some rate, Some s when Float.is_finite rate && rate >= 0.0 && Float.is_finite s ->
+          Ok (Zipf { rate; s })
+      | _ -> Error (Printf.sprintf "bad zipf spec '%s:%s' (want zipf:RATE:S)" r s))
+  | _ ->
+      Error
+        (Printf.sprintf "unknown arrivals '%s' (want scenario, poisson:RATE or zipf:RATE:S)"
+           name)
+
+let arrivals_label = function
+  | Scenario_rate -> "scenario"
+  | Poisson r -> Printf.sprintf "poisson:%.4f" r
+  | Zipf { rate; s } -> Printf.sprintf "zipf:%.4f:%.4f" rate s
+  | Trace _ -> "trace"
+
+type totals = {
+  arrivals : int;
+  flash_arrivals : int;
+  admitted : int;
+  completed : int;
+  shed : int;
+  rejected : int;
+  retries : int;
+  retry_sessions : int;
+  retry_budget : int;
+  interrupted : int;
+  expired : int;
+  overflow_shed : int;
+  overload_shed : int;
+  helpers_drafted : int;
+  stalled_rounds : int;
+  total_unserved : int;
+  max_queue : int;
+  degraded_rounds : int;
+}
+
+type outcome = {
+  scenario : Scenario.t;
+  seed : int;
+  rounds : int;
+  totals : totals;
+  live_at_end : int;
+  slo : Slo.summary list;
+  jsonl : string;
+  slo_jsonl : string;
+}
+
+let validate = Chaos.validate
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* KPI budgets as SLOs                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The service compiles its own SLO set: a stall objective is always on
+   (the graceful-degradation contract says admitted viewers never miss
+   a round), [max-rejection] budgets the share of admission decisions
+   that drop a session, and [max-startup-p95] keeps the chaos startup
+   tail semantics. *)
+
+type slo_metric = Stall | Admission | Startup_over of float
+
+let compiled_slos (s : Scenario.t) =
+  let kpi = s.Scenario.kpi in
+  let specs = ref [] in
+  let add name target metric =
+    if target > 0.0 && target <= 1.0 then specs := (Slo.spec ~name ~target (), metric) :: !specs
+  in
+  (match kpi.Scenario.max_startup_p95 with
+  | Some l -> add "startup" 0.05 (Startup_over l)
+  | None -> ());
+  (match kpi.Scenario.max_rejection with Some r -> add "admission" r Admission | None -> ());
+  add "stall" 0.01 Stall;
+  !specs
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type sess = {
+  id : int;
+  box : int;
+  video : int;
+  arrived : int;
+  priority : int; (* 0 = flash crowd (sheddable first), 1 = background *)
+  mutable state : Session.state;
+  mutable deadline : int; (* queue patience, then startup deadline *)
+  mutable admitted_at : int;
+}
+
+let is_live s = s.state = Session.Admitted || s.state = Session.Streaming
+
+let run ?rounds ?seed ?(config = default_config) ?(arrivals = Scenario_rate)
+    (s : Scenario.t) =
+  match Chaos.prepare s with
+  | Error _ as err -> err
+  | Ok (base, fleet, m, topology, helper_ranges) ->
+      let cfg = config in
+      let n_total = Array.length fleet in
+      let rounds = Option.value rounds ~default:s.rounds in
+      let seed = Option.value seed ~default:s.seed in
+      let params = Params.make ~n:n_total ~c:s.c ~mu:s.mu ~duration:s.duration in
+      let catalog = Catalog.create ~m ~c:s.c in
+      let alloc_rng = Prng.create ~seed () in
+      let base_alloc = Vod_alloc.Schemes.random_permutation alloc_rng ~fleet:base ~catalog ~k:s.k in
+      let alloc =
+        if s.helpers = [] then base_alloc
+        else Vod_fault.Helpers.seed_allocation ~fleet ~c:s.c base_alloc
+      in
+      let compensation =
+        match s.population with
+        | Scenario.Homogeneous -> None
+        | Scenario.Rich_poor { u_star; _ } ->
+            Option.map
+              (Vod_fault.Helpers.extend_compensation ~n:n_total)
+              (Vod_analysis.Theorem2.compensate base ~u_star)
+      in
+      let plan =
+        match Plan.compile ?topology ~helpers:helper_ranges ~seed ~n:n_total s.events with
+        | Ok p -> p
+        | Error msg -> invalid_arg msg (* unreachable: validated by prepare *)
+      in
+      let engine =
+        Engine.create ~params ~fleet ~alloc ?compensation ~policy:Engine.Continue ?topology ()
+      in
+      Array.iter
+        (fun (start, count) ->
+          for b = start to start + count - 1 do
+            Engine.set_helper engine b true;
+            Engine.set_online engine b false
+          done)
+        helper_ranges;
+      let mend = Mend.create ~seed:(seed + 101) (Mend.of_scenario s) in
+      let backoff =
+        Backoff.create ~seed:(seed + 29) ~policy:Backoff.Decorrelated_jitter
+          ~budget:cfg.retry_budget ~base:cfg.backoff_base ~cap:cfg.backoff_cap ()
+      in
+      let generator =
+        let rate_gen rate =
+          if rate > 0.0 then
+            Generators.uniform_arrivals (Prng.create ~seed:(seed + 7) ()) ~rate
+          else Generators.nothing
+        in
+        match arrivals with
+        | Scenario_rate -> rate_gen s.rate
+        | Poisson rate -> rate_gen rate
+        | Zipf { rate; s = zs } ->
+            if rate > 0.0 then
+              Generators.zipf_arrivals (Prng.create ~seed:(seed + 7) ()) ~rate ~s:zs
+            else Generators.nothing
+        | Trace script -> Generators.replay script
+      in
+      let crowd_rng = Prng.create ~seed:(seed + 13) () in
+      let flaky = ref 0.0 in
+      Engine.set_link_faults engine
+        (Some (fun ~time ~owner ~server -> Plan.link_fault plan ~prob:!flaky ~time ~owner ~server));
+      (* capacity model: online upload slots, a reserve for repair
+         traffic plus the configured safety margin, and a projected cost
+         of c slots per live session *)
+      let c = s.c in
+      (* A helper's admission-capacity credit is capped at one upload
+         slot per replica it holds: a spare-upload box with a tiny
+         replica set can relieve viewers of those stripes but cannot
+         serve arbitrary admissions, and counting its raw slot total
+         would open the floodgates on capacity the matching does not
+         have. *)
+      let box_slots b =
+        let slots = Engine.upload_slots_of_box engine b in
+        if Engine.is_helper engine b then
+          min slots (Array.length (Allocation.stripes_of_box (Engine.alloc engine) b))
+        else slots
+      in
+      let online_slots () =
+        let total = ref 0 in
+        for b = 0 to n_total - 1 do
+          if Engine.is_online engine b then total := !total + box_slots b
+        done;
+        !total
+      in
+      let reserve slots =
+        s.budget + int_of_float (ceil (cfg.headroom_margin *. float_of_int slots))
+      in
+      let slots0 = online_slots () in
+      let tokens_per_round =
+        match cfg.tokens_per_round with
+        | Some t -> t
+        | None -> max 1 ((slots0 - reserve slots0) / (c * (s.duration + 2)))
+      in
+      let token_burst =
+        match cfg.token_burst with Some t -> t | None -> 4 * tokens_per_round
+      in
+      let capacity_sessions = min (max 0 ((slots0 - reserve slots0) / c)) s.n in
+      let nu =
+        match s.population with
+        | Scenario.Homogeneous when s.u > 1.0 -> (
+            try Some (Vod_analysis.Theorem1.nu ~u:s.u ~mu:s.mu ~c) with Invalid_argument _ -> None)
+        | _ -> None
+      in
+      (* session store and deterministic orders *)
+      let sessions : (int, sess) Hashtbl.t = Hashtbl.create 256 in
+      let next_id = ref 0 in
+      let queue : sess Vec.t = Vec.create () in
+      let live_order : sess Vec.t = Vec.create () in
+      let box_owner : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      let retry_at : (int, int Vec.t) Hashtbl.t = Hashtbl.create 16 in
+      let admitted_vid : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      let tokens = ref token_burst in
+      let degraded = ref false in
+      (* Measured matching shortfall, in slots.  Aggregate headroom
+         cannot see per-replica or per-link constraints (an ISP
+         bottleneck halves real capacity long before the slot sum goes
+         negative), so the controller closes the loop on the engine's
+         own unserved count: every stalled round adds its shortfall to
+         the headroom debt (forcing shedding next round).  The debt is
+         sticky — probing it away risks stalling an admitted viewer, so
+         it halves only after [clean_streak] consecutive clean rounds
+         (slow, hysteretic re-admission instead of oscillation). *)
+      let shortfall = ref 0 in
+      let clean_rounds = ref 0 in
+      let clean_streak = 8 in
+      (* totals *)
+      let t_arrivals = ref 0
+      and t_flash = ref 0
+      and t_admitted = ref 0
+      and t_completed = ref 0
+      and t_shed = ref 0
+      and t_rejected = ref 0
+      and t_retries = ref 0
+      and t_retry_sessions = ref 0
+      and t_interrupted = ref 0
+      and t_expired = ref 0
+      and t_overflow = ref 0
+      and t_overload = ref 0
+      and t_helpers = ref 0
+      and t_stalled_rounds = ref 0
+      and t_unserved = ref 0
+      and t_max_queue = ref 0
+      and t_degraded = ref 0 in
+      (* per-round counters *)
+      let r_arrivals = ref 0
+      and r_admitted = ref 0
+      and r_retried = ref 0
+      and r_shed = ref 0
+      and r_rejected = ref 0
+      and r_interrupted = ref 0
+      and r_expired = ref 0
+      and r_completed = ref 0 in
+      let series = Timeseries.create () in
+      let ts_queue = Timeseries.series series "serve.queue"
+      and ts_live = Timeseries.series series "serve.live"
+      and ts_tokens = Timeseries.series series "serve.tokens"
+      and ts_headroom = Timeseries.series series "serve.headroom" in
+      let buf = Buffer.create (rounds * 128) in
+      let line fmt = Printf.ksprintf (fun str -> Buffer.add_string buf (str ^ "\n")) fmt in
+      let slos = List.map (fun (spec, metric) -> (Slo.create spec, metric)) (compiled_slos s) in
+      let slo_buf = Buffer.create 512 in
+      let slo_line str = Buffer.add_string slo_buf (str ^ "\n") in
+      line
+        {|{"type":"meta","version":"vod-serve/1","scenario":"%s","arrivals":"%s","seed":%d,"rounds":%d,"n":%d,"m":%d,"c":%d,"k":%d,"queue_cap":%d,"tokens_per_round":%d,"token_burst":%d,"retry_budget":%d,"backoff_base":%d,"backoff_cap":%d,"shed_policy":"%s","slots":%d,"reserve":%d,"capacity_sessions":%d,"nu":%s}|}
+        (json_escape s.name)
+        (json_escape (arrivals_label arrivals))
+        seed rounds n_total m c s.k cfg.queue_cap tokens_per_round token_burst
+        cfg.retry_budget cfg.backoff_base cfg.backoff_cap
+        (shed_policy_name cfg.shed_policy)
+        slots0 (reserve slots0) capacity_sessions
+        (match nu with Some v -> Printf.sprintf "%.4f" v | None -> "null");
+      slo_line
+        (Printf.sprintf
+           {|{"type":"meta","version":"vod-slo/1","scenario":"%s","config":"serve","seed":%d,"rounds":%d,"slos":[%s]}|}
+           (json_escape s.name) seed rounds
+           (String.concat "," (List.map (fun (ev, _) -> Slo.spec_json (Slo.spec_of ev)) slos)));
+      let slo_states = ref [] in
+      let startups_seen = ref 0 in
+      let observe_slos (report : Engine.round_report) =
+        let startup_count = Engine.startup_count engine in
+        List.iter
+          (fun (ev, metric) ->
+            let bad, total =
+              match metric with
+              | Stall -> (report.Engine.unserved, report.Engine.served + report.Engine.unserved)
+              | Admission -> (!r_shed + !r_rejected, !r_admitted + !r_shed + !r_rejected)
+              | Startup_over limit ->
+                  let bad = ref 0 in
+                  for i = !startups_seen to startup_count - 1 do
+                    if float_of_int (Engine.startup_delay engine i) > limit then incr bad
+                  done;
+                  (!bad, startup_count - !startups_seen)
+            in
+            Slo.observe ev ~bad ~total)
+          slos;
+        startups_seen := startup_count;
+        let states = List.map (fun (ev, _) -> Slo.state ev) slos in
+        (match !slo_states with
+        | [] -> List.iter (fun (ev, _) -> slo_line (Slo.verdict_json ev ~round:report.Engine.time)) slos
+        | prev ->
+            List.iteri
+              (fun i (ev, _) ->
+                if List.nth prev i <> List.nth states i then
+                  slo_line (Slo.verdict_json ev ~round:report.Engine.time))
+              slos);
+        slo_states := states
+      in
+      (* ------------------------------------------------------------ *)
+      (* session plumbing                                              *)
+      (* ------------------------------------------------------------ *)
+      let deliver sess msg =
+        match Session.transition sess.state msg with
+        | Some st -> sess.state <- st
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Serve: illegal message in state %s (session %d)"
+                 (Session.state_name sess.state) sess.id)
+      in
+      let finalize sess =
+        Hashtbl.remove box_owner sess.box;
+        Backoff.reset backoff ~key:sess.id
+      in
+      let shed_terminal sess =
+        deliver sess (Session.Shed_notice { session = sess.id });
+        finalize sess;
+        incr r_shed;
+        incr t_shed;
+        Registry.incr obs_shed
+      in
+      let reject_terminal sess reason =
+        deliver sess (Session.Deny { session = sess.id; reason });
+        finalize sess;
+        incr r_rejected;
+        incr t_rejected;
+        Registry.incr obs_rejected
+      in
+      (* Park a failed session in the retry loop — or end it when the
+         budget is spent ([`Shed] for load/fault losses, [`Rejected] for
+         admission denials). *)
+      let park_retry sess ~time ~on_exhausted =
+        match Backoff.record_failure backoff ~key:sess.id ~time with
+        | Backoff.Exhausted -> (
+            match on_exhausted with
+            | `Shed -> shed_terminal sess
+            | `Rejected -> reject_terminal sess Session.Budget_exhausted)
+        | Backoff.Retry_at at ->
+            let attempt = Backoff.attempts backoff ~key:sess.id in
+            if attempt = 1 then incr t_retry_sessions;
+            deliver sess (Session.Retry_after { session = sess.id; at; attempt });
+            let bucket =
+              match Hashtbl.find_opt retry_at at with
+              | Some v -> v
+              | None ->
+                  let v = Vec.create () in
+                  Hashtbl.add retry_at at v;
+                  v
+            in
+            Vec.push bucket sess.id
+      in
+      let rebuild_queue kept =
+        Vec.clear queue;
+        List.iter (Vec.push queue) kept
+      in
+      (* bounded arrival queue: on overflow the entry with the oldest
+         deadline is shed terminally (it is the closest to useless) *)
+      let enqueue sess =
+        Vec.push queue sess;
+        if Vec.length queue > cfg.queue_cap then begin
+          let victim = ref sess in
+          Vec.iter (fun s -> if s.deadline < !victim.deadline then victim := s) queue;
+          let v = !victim in
+          let kept = Vec.to_list queue |> List.filter (fun s -> s.id <> v.id) in
+          rebuild_queue kept;
+          shed_terminal v;
+          incr t_overflow
+        end
+      in
+      let new_session ~box ~video ~time ~priority =
+        let id = !next_id in
+        incr next_id;
+        let sess =
+          {
+            id;
+            box;
+            video;
+            arrived = time;
+            priority;
+            state = Session.Arriving;
+            deadline = time + cfg.queue_patience;
+            admitted_at = -1;
+          }
+        in
+        Hashtbl.replace sessions id sess;
+        Hashtbl.replace box_owner box id;
+        incr r_arrivals;
+        incr t_arrivals;
+        Registry.incr obs_arrivals;
+        enqueue sess
+      in
+      let apply_event time = function
+        | Plan.Crash b -> if Engine.is_online engine b then Engine.set_online engine b false
+        | Plan.Rejoin b -> if not (Engine.is_online engine b) then Engine.set_online engine b true
+        | Plan.Degrade (b, f) -> Engine.set_upload_factor engine ~box:b ~factor:f
+        | Plan.Restore b -> Engine.set_upload_factor engine ~box:b ~factor:1.0
+        | Plan.Flaky p -> flaky := p
+        | Plan.Flash_crowd (video, viewers) ->
+            (* a flash crowd arrives as admission events, not as direct
+               engine demands: every extra viewer queues like anyone
+               else and is sheddable (priority 0) under overload *)
+            let idle =
+              Engine.idle_boxes engine
+              |> List.filter (fun b -> not (Hashtbl.mem box_owner b))
+              |> Array.of_list
+            in
+            Sample.shuffle crowd_rng idle;
+            let take = min viewers (Array.length idle) in
+            for i = 0 to take - 1 do
+              new_session ~box:idle.(i) ~video ~time ~priority:0;
+              incr t_flash
+            done
+        | Plan.Group_crash _ | Plan.Group_rejoin _ | Plan.Group_degrade _ | Plan.Group_restore _
+        | Plan.Helper_join _ | Plan.Helper_leave _ ->
+            assert false (* Plan.compile expanded these *)
+      in
+      let allowed_new video =
+        let admitted_now =
+          match Hashtbl.find_opt admitted_vid video with Some k -> k | None -> 0
+        in
+        let size = Engine.swarm_size engine video + admitted_now in
+        let target = int_of_float (ceil (float_of_int (max size 1) *. s.mu)) in
+        target - size
+      in
+      let live_count () = Vec.fold_left (fun acc s -> if is_live s then acc + 1 else acc) 0 live_order in
+      (* Sourcing feasibility: a video is streamable only while every
+         one of its stripes has an online replica on a box with upload
+         capacity left after degradation (the live allocation includes
+         Mend's repairs).  Conservative — the matching can also source
+         from playback caches — but a [false] here means an admitted
+         viewer of that video is at risk of stalling, and the contract
+         is to recover such sessions, not stall them. *)
+      let sourceable_memo : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+      let sourceable video =
+        match Hashtbl.find_opt sourceable_memo video with
+        | Some v -> v
+        | None ->
+            let alloc_now = Engine.alloc engine in
+            let cat = Allocation.catalog alloc_now in
+            let v =
+              Array.for_all
+                (fun stripe ->
+                  Array.exists
+                    (fun b ->
+                      Engine.is_online engine b && Engine.upload_slots_of_box engine b > 0)
+                    (Allocation.boxes_of_stripe alloc_now stripe))
+                (Catalog.stripes_of_video cat video)
+            in
+            Hashtbl.replace sourceable_memo video v;
+            v
+      in
+      (* ------------------------------------------------------------ *)
+      (* the round loop                                                *)
+      (* ------------------------------------------------------------ *)
+      for _ = 1 to rounds do
+        let time = Engine.now engine + 1 in
+        (* the backlog carried over from the previous round's admission
+           scan — the degradation signal below reads this, not the
+           transient intra-round occupancy (which always includes this
+           round's not-yet-scanned arrivals, and would flag a healthy
+           service degraded whenever the background rate alone tops the
+           queue threshold) *)
+        let backlog = Vec.length queue in
+        r_arrivals := 0;
+        r_admitted := 0;
+        r_retried := 0;
+        r_shed := 0;
+        r_rejected := 0;
+        r_interrupted := 0;
+        r_expired := 0;
+        r_completed := 0;
+        Hashtbl.reset admitted_vid;
+        Hashtbl.reset sourceable_memo;
+        (* 1. fault-plan events (flash crowds enqueue arrival bursts) *)
+        List.iter (apply_event time) (Plan.events_at plan time);
+        (* 2. interrupts: admitted viewers whose box went dark (the
+           engine already dropped their requests with the box) or whose
+           video lost every online replica of some stripe re-enter
+           through the retry loop — recovered, never left to stall *)
+        let survivors =
+          Vec.fold_left
+            (fun acc sess ->
+              if not (is_live sess) then acc
+              else if
+                (not (Engine.is_online engine sess.box)) || not (sourceable sess.video)
+              then begin
+                if Engine.is_online engine sess.box then Engine.cancel engine sess.box;
+                park_retry sess ~time ~on_exhausted:`Shed;
+                incr r_interrupted;
+                incr t_interrupted;
+                Registry.incr obs_interrupted;
+                acc
+              end
+              else sess :: acc)
+            [] live_order
+        in
+        Vec.clear live_order;
+        List.iter (Vec.push live_order) (List.rev survivors);
+        (* 3. due retries re-join the arrival queue (idempotent: same
+           session id, a re-admission never double-counts arrival) *)
+        (match Hashtbl.find_opt retry_at time with
+        | None -> ()
+        | Some bucket ->
+            Vec.iter
+              (fun id ->
+                let sess = Hashtbl.find sessions id in
+                if sess.state = Session.Retrying then begin
+                  deliver sess (Session.Join { session = id; box = sess.box; video = sess.video });
+                  sess.deadline <- time + cfg.queue_patience;
+                  incr r_retried;
+                  incr t_retries;
+                  Registry.incr obs_retries;
+                  enqueue sess
+                end)
+              bucket;
+            Hashtbl.remove retry_at time);
+        (* 4. background arrivals *)
+        List.iter
+          (fun (box, video) ->
+            if not (Hashtbl.mem box_owner box) then
+              new_session ~box ~video ~time ~priority:1)
+          (generator engine time);
+        (* 5. queue patience: out-waited arrivals expire into the retry
+           loop (deadline-aware recovery, not a silent drop) *)
+        let kept =
+          Vec.fold_left
+            (fun acc sess ->
+              if sess.state <> Session.Arriving then acc
+              else if time > sess.deadline then begin
+                park_retry sess ~time ~on_exhausted:`Shed;
+                incr r_expired;
+                incr t_expired;
+                Registry.incr obs_expired;
+                acc
+              end
+              else sess :: acc)
+            [] queue
+        in
+        rebuild_queue (List.rev kept);
+        (* 6. measured headroom, degradation and overload shedding *)
+        let slots = ref (online_slots ()) in
+        let headroom = ref (!slots - reserve !slots - (c * live_count ()) - !shortfall) in
+        let high = cfg.queue_cap * 3 / 4 and low = cfg.queue_cap / 4 in
+        if !headroom < c || backlog > high then degraded := true
+        else if !headroom >= c && backlog <= low then degraded := false;
+        if !degraded then begin
+          incr t_degraded;
+          Registry.incr obs_degraded_rounds
+        end;
+        if !headroom < 0 then begin
+          (* capacity collapsed under admitted load (outage): relieve or
+             shed sessions — never let admitted viewers stall *)
+          if cfg.shed_policy = Helper_first then
+            Array.iter
+              (fun (start, count) ->
+                for b = start to start + count - 1 do
+                  if not (Engine.is_online engine b) then begin
+                    Engine.set_online engine b true;
+                    incr t_helpers;
+                    let gained = box_slots b in
+                    slots := !slots + gained;
+                    headroom := !headroom + gained
+                  end
+                done)
+              helper_ranges;
+          let live = ref (Vec.to_list live_order |> List.filter is_live) in
+          while !headroom < 0 && !live <> [] do
+            let victim, rest =
+              match cfg.shed_policy with
+              | Newest_first | Helper_first -> (
+                  match List.rev !live with
+                  | v :: tl -> (v, List.rev tl)
+                  | [] -> assert false)
+              | Lowest_priority ->
+                  let v =
+                    List.fold_left
+                      (fun best sess ->
+                        match best with
+                        | None -> Some sess
+                        | Some b ->
+                            if
+                              sess.priority < b.priority
+                              || (sess.priority = b.priority
+                                 && (sess.admitted_at > b.admitted_at
+                                    || (sess.admitted_at = b.admitted_at && sess.id > b.id)))
+                            then Some sess
+                            else best)
+                      None !live
+                    |> Option.get
+                  in
+                  (v, List.filter (fun sess -> sess.id <> v.id) !live)
+            in
+            live := rest;
+            Engine.cancel engine victim.box;
+            park_retry victim ~time ~on_exhausted:`Shed;
+            incr t_overload;
+            headroom := !headroom + c
+          done
+        end;
+        (* 7. admission: token bucket + headroom + per-video mu bound *)
+        tokens := min token_burst (!tokens + tokens_per_round);
+        let kept =
+          Vec.fold_left
+            (fun acc sess ->
+              if sess.state <> Session.Arriving then acc
+              else if !tokens <= 0 || !headroom < c then sess :: acc
+              else if allowed_new sess.video <= 0 then sess :: acc
+              else if not (sourceable sess.video) then sess :: acc
+                (* unsourceable title: hold in queue until Mend repairs
+                   it or the patience deadline recycles the session *)
+              else
+                match Engine.try_demand engine ~box:sess.box ~video:sess.video with
+                | Engine.Admitted ->
+                    deliver sess
+                      (Session.Grant { session = sess.id; deadline = time + cfg.startup_deadline });
+                    sess.admitted_at <- time;
+                    sess.deadline <- time + cfg.startup_deadline;
+                    decr tokens;
+                    headroom := !headroom - c;
+                    Hashtbl.replace admitted_vid sess.video
+                      (1
+                      +
+                      match Hashtbl.find_opt admitted_vid sess.video with
+                      | Some k -> k
+                      | None -> 0);
+                    Vec.push live_order sess;
+                    incr r_admitted;
+                    incr t_admitted;
+                    Registry.incr obs_admitted;
+                    Registry.observe obs_queue_wait (time - sess.arrived);
+                    acc
+                | Engine.Queued -> sess :: acc (* box mid-playback: wait *)
+                | Engine.Rejected Engine.Offline ->
+                    park_retry sess ~time ~on_exhausted:`Rejected;
+                    acc
+                | Engine.Rejected (Engine.Helper | Engine.Out_of_range) ->
+                    reject_terminal sess Session.Invalid;
+                    acc)
+            [] queue
+        in
+        rebuild_queue (List.rev kept);
+        (* 8. the simulator round, with repair under it *)
+        Mend.tick mend engine;
+        let report = Engine.step engine in
+        ignore (Mend.collect mend engine : int);
+        (* 9. session accounting: startups, completions, missed
+           startup deadlines *)
+        Vec.iter
+          (fun sess ->
+            if sess.state = Session.Admitted then begin
+              if Engine.awaiting_first engine sess.box = 0 then
+                deliver sess (Session.First_chunk { session = sess.id; round = time })
+              else if time > sess.deadline then begin
+                (* the engine never produced a first chunk in time:
+                   cancel and recover through the retry loop *)
+                Engine.cancel engine sess.box;
+                park_retry sess ~time ~on_exhausted:`Shed;
+                incr r_expired;
+                incr t_expired;
+                Registry.incr obs_expired
+              end
+            end)
+          live_order;
+        Vec.iter
+          (fun sess ->
+            if sess.state = Session.Streaming && Engine.is_idle engine sess.box then begin
+              deliver sess (Session.Complete { session = sess.id; round = time });
+              finalize sess;
+              incr r_completed;
+              incr t_completed;
+              Registry.incr obs_completed
+            end)
+          live_order;
+        (* 10. stall accounting, SLOs, telemetry, the round line *)
+        if report.Engine.unserved > 0 then begin
+          incr t_stalled_rounds;
+          Registry.incr obs_stalled_rounds;
+          shortfall := !shortfall + report.Engine.unserved;
+          clean_rounds := 0
+        end
+        else begin
+          incr clean_rounds;
+          if !clean_rounds >= clean_streak && !shortfall > 0 then begin
+            shortfall := !shortfall / 2;
+            clean_rounds := 0
+          end
+        end;
+        t_unserved := !t_unserved + report.Engine.unserved;
+        if Vec.length queue > !t_max_queue then t_max_queue := Vec.length queue;
+        observe_slos report;
+        let live = live_count () in
+        let streaming =
+          Vec.fold_left
+            (fun acc sess -> if sess.state = Session.Streaming then acc + 1 else acc)
+            0 live_order
+        in
+        let retrying =
+          Hashtbl.fold
+            (fun _ sess acc -> if sess.state = Session.Retrying then acc + 1 else acc)
+            sessions 0
+        in
+        Timeseries.push ts_queue (Vec.length queue);
+        Timeseries.push ts_live live;
+        Timeseries.push ts_tokens !tokens;
+        Timeseries.push ts_headroom (max 0 !headroom);
+        line
+          {|{"type":"round","t":%d,"state":"%s","arrivals":%d,"admitted":%d,"retried":%d,"queue":%d,"tokens":%d,"headroom":%d,"shortfall":%d,"live":%d,"streaming":%d,"retrying":%d,"interrupted":%d,"expired":%d,"shed":%d,"rejected":%d,"completed":%d,"served":%d,"unserved":%d,"offline":%d}|}
+          time
+          (if !degraded then "degraded" else "ok")
+          !r_arrivals !r_admitted !r_retried (Vec.length queue) !tokens !headroom
+          !shortfall live streaming retrying !r_interrupted !r_expired !r_shed !r_rejected
+          !r_completed report.Engine.served report.Engine.unserved
+          report.Engine.offline_boxes
+      done;
+      let live_at_end =
+        Hashtbl.fold
+          (fun _ sess acc -> if Session.is_terminal sess.state then acc else acc + 1)
+          sessions 0
+      in
+      let totals =
+        {
+          arrivals = !t_arrivals;
+          flash_arrivals = !t_flash;
+          admitted = !t_admitted;
+          completed = !t_completed;
+          shed = !t_shed;
+          rejected = !t_rejected;
+          retries = !t_retries;
+          retry_sessions = !t_retry_sessions;
+          retry_budget = cfg.retry_budget;
+          interrupted = !t_interrupted;
+          expired = !t_expired;
+          overflow_shed = !t_overflow;
+          overload_shed = !t_overload;
+          helpers_drafted = !t_helpers;
+          stalled_rounds = !t_stalled_rounds;
+          total_unserved = !t_unserved;
+          max_queue = !t_max_queue;
+          degraded_rounds = !t_degraded;
+        }
+      in
+      let ok =
+        totals.total_unserved = 0 && totals.retries <= totals.retry_budget * totals.retry_sessions
+      in
+      line
+        {|{"type":"verdict","arrivals":%d,"flash":%d,"admitted":%d,"completed":%d,"shed":%d,"rejected":%d,"retries":%d,"retry_sessions":%d,"retry_budget":%d,"interrupted":%d,"expired":%d,"overflow_shed":%d,"overload_shed":%d,"helpers_drafted":%d,"stalled_rounds":%d,"total_unserved":%d,"max_queue":%d,"degraded_rounds":%d,"live_at_end":%d,"ok":%b}|}
+        totals.arrivals totals.flash_arrivals totals.admitted totals.completed totals.shed
+        totals.rejected totals.retries totals.retry_sessions totals.retry_budget
+        totals.interrupted totals.expired totals.overflow_shed totals.overload_shed
+        totals.helpers_drafted totals.stalled_rounds totals.total_unserved totals.max_queue
+        totals.degraded_rounds live_at_end ok;
+      let slo_summaries = List.map (fun (ev, _) -> Slo.summary ev) slos in
+      List.iter (fun su -> slo_line (Slo.summary_line su)) slo_summaries;
+      Ok
+        {
+          scenario = s;
+          seed;
+          rounds;
+          totals;
+          live_at_end;
+          slo = slo_summaries;
+          jsonl = Buffer.contents buf;
+          slo_jsonl = Buffer.contents slo_buf;
+        }
+
+let run_many ?rounds ?jobs ?config ?arrivals ~replications (s : Scenario.t) =
+  if replications < 1 then Error "replications must be >= 1"
+  else
+    match validate s with
+    | Error _ as err -> err
+    | Ok () ->
+        let outcomes =
+          Vod_par.Par.map ?jobs
+            ~f:(fun rep ->
+              match run ?rounds ~seed:(s.seed + (1000 * rep)) ?config ?arrivals s with
+              | Ok o -> o
+              | Error msg -> failwith msg (* unreachable: validated above *))
+            replications
+        in
+        Ok (Array.to_list outcomes)
+
+let verdict_ok o =
+  o.totals.total_unserved = 0
+  && o.totals.retries <= o.totals.retry_budget * o.totals.retry_sessions
+
+let slo_breached o = List.exists (fun su -> su.Slo.su_final = Slo.Breach) o.slo

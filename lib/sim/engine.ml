@@ -316,6 +316,26 @@ let demand t ~box ~video =
   if not (is_idle t box) then invalid_arg "Engine.demand: box is busy";
   Vec.push t.pending (box, video)
 
+type reject_reason = Offline | Helper | Out_of_range
+type admit = Admitted | Queued | Rejected of reject_reason
+
+let try_demand t ~box ~video =
+  let m = Catalog.videos (Allocation.catalog t.alloc) in
+  if box < 0 || box >= t.params.Params.n || video < 0 || video >= m then
+    Rejected Out_of_range
+  else if t.helper.(box) then Rejected Helper
+  else if not t.online.(box) then Rejected Offline
+  else if not (is_idle t box) then Queued
+  else begin
+    Vec.push t.pending (box, video);
+    Admitted
+  end
+
+let awaiting_first t box =
+  if box < 0 || box >= t.params.Params.n then
+    invalid_arg "Engine.awaiting_first: box out of range";
+  t.awaiting_first.(box)
+
 let schedule t time req =
   let bucket =
     match Hashtbl.find_opt t.scheduled time with
@@ -958,10 +978,7 @@ let run t ~rounds ~demands_for =
   let reports = ref [] in
   for _ = 1 to rounds do
     let wanted = demands_for t (t.now + 1) in
-    List.iter
-      (fun (box, video) ->
-        if is_idle t box && not t.helper.(box) then demand t ~box ~video)
-      wanted;
+    List.iter (fun (box, video) -> ignore (try_demand t ~box ~video : admit)) wanted;
     reports := step t :: !reports
   done;
   List.rev !reports

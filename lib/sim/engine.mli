@@ -351,6 +351,32 @@ val demand : t -> box:int -> video:int -> unit
     @raise Invalid_argument when the box is busy, a helper, or the video
     is out of range. *)
 
+type reject_reason =
+  | Offline  (** The box is offline; a rejoin may make it admissible. *)
+  | Helper  (** Upload-only box: never takes demands. *)
+  | Out_of_range  (** Box or video id outside the system. *)
+
+type admit =
+  | Admitted  (** Registered: the demand enters the next {!step}. *)
+  | Queued
+      (** The box is valid but cannot start now (busy with a video, or a
+          demand for it is already pending) — the caller may hold the
+          demand and retry. *)
+  | Rejected of reject_reason
+
+val try_demand : t -> box:int -> video:int -> admit
+(** Total-function twin of {!demand} for service loops: classify the
+    demand instead of raising or silently dropping it.  [Admitted] has
+    registered the demand exactly as {!demand} would; the other
+    verdicts leave the engine untouched. *)
+
+val awaiting_first : t -> int -> int
+(** Stripes of the box's current demand that have not yet begun
+    streaming; [0] once start-up completed (or when the box has no
+    demand).  The session-accounting hook of the service layer:
+    admission is complete exactly when this returns to 0.
+    @raise Invalid_argument on out-of-range box. *)
+
 val step : t -> round_report
 (** Advance one round: activate scheduled requests, expire finished
     ones, run the connection matching, progress the served requests.
@@ -385,7 +411,7 @@ val run :
   t -> rounds:int -> demands_for:(t -> int -> (int * int) list) -> round_report list
 (** [run t ~rounds ~demands_for] drives [rounds] steps; before each it
     feeds the demands returned by [demands_for t time] (pairs of
-    [box, video]; demands on busy, offline {e and helper} boxes are
-    skipped silently so that stateless generators compose with churn
-    plans).
+    [box, video]) through {!try_demand} — demands on busy, offline and
+    helper boxes are classified and dropped rather than raising, so
+    stateless generators compose with churn plans.
     Reports are in round order. *)

@@ -1,4 +1,4 @@
 let () =
   Alcotest.run "vod"
     (Test_util.suites @ Test_graph.suites @ Test_model.suites @ Test_alloc.suites
-   @ Test_analysis.suites @ Test_sim.suites @ Test_adversary.suites @ Test_extensions.suites @ Test_features.suites @ Test_proofs.suites @ Test_directory.suites @ Test_swarm.suites @ Test_proto.suites @ Test_model_based.suites @ Test_operations.suites @ Test_properties_extra.suites @ Test_system.suites @ Test_workload.suites @ Test_check.suites @ Test_fault.suites @ Test_obs.suites @ Test_battery.suites)
+   @ Test_analysis.suites @ Test_sim.suites @ Test_adversary.suites @ Test_extensions.suites @ Test_features.suites @ Test_proofs.suites @ Test_directory.suites @ Test_swarm.suites @ Test_proto.suites @ Test_model_based.suites @ Test_operations.suites @ Test_properties_extra.suites @ Test_system.suites @ Test_workload.suites @ Test_check.suites @ Test_fault.suites @ Test_obs.suites @ Test_battery.suites @ Test_serve.suites)

@@ -1,0 +1,329 @@
+(* Tests for the service mode: the seedable backoff module (exponential
+   bit-compatibility with the historical Mend schedule, jitter bounds,
+   budget semantics), the session state machine, the graceful-degradation
+   law (admitted sessions never stall; overload is absorbed by shed /
+   reject; retries stay within budget), the vod-serve/1 golden pin and
+   --jobs byte-identity. *)
+
+open Vod_util
+module Scenario = Vod_fault.Scenario
+module Session = Vod_proto.Session
+module Serve = Vod_serve.Serve
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Backoff                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_exponential () =
+  (* the delay schedule must bit-match Mend's historical loop:
+     min (cap, base * 2^(attempt-1)) *)
+  let b = Backoff.create ~base:2 ~cap:16 () in
+  let delays =
+    List.map
+      (fun _ ->
+        match Backoff.record_failure b ~key:7 ~time:100 with
+        | Backoff.Retry_at at -> at - 100
+        | Backoff.Exhausted -> Alcotest.fail "no budget given, nothing exhausts")
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  checkb "doubling then capped" true (delays = [ 2; 4; 8; 16; 16; 16 ]);
+  checki "attempts tracked" 6 (Backoff.attempts b ~key:7);
+  checki "unknown key has no attempts" 0 (Backoff.attempts b ~key:8);
+  Backoff.reset b ~key:7;
+  checki "reset forgets" 0 (Backoff.attempts b ~key:7)
+
+let test_backoff_jitter_bounds () =
+  let b = Backoff.create ~seed:11 ~policy:Backoff.Decorrelated_jitter ~base:3 ~cap:20 () in
+  for i = 1 to 200 do
+    match Backoff.record_failure b ~key:(i mod 5) ~time:i with
+    | Backoff.Retry_at at ->
+        let d = at - i in
+        checkb "jitter delay within [base, cap]" true (d >= 3 && d <= 20)
+    | Backoff.Exhausted -> Alcotest.fail "no budget given"
+  done
+
+let test_backoff_seed_determinism () =
+  let sequence seed =
+    let b = Backoff.create ~seed ~policy:Backoff.Decorrelated_jitter ~base:2 ~cap:64 () in
+    List.init 20 (fun i ->
+        match Backoff.record_failure b ~key:0 ~time:(10 * i) with
+        | Backoff.Retry_at at -> at
+        | Backoff.Exhausted -> -1)
+  in
+  checkb "same seed, same schedule" true (sequence 5 = sequence 5);
+  checkb "different seed, different schedule" true (sequence 5 <> sequence 6)
+
+let test_backoff_budget () =
+  let b = Backoff.create ~budget:2 ~base:2 ~cap:8 () in
+  let v1 = Backoff.record_failure b ~key:3 ~time:0 in
+  let v2 = Backoff.record_failure b ~key:3 ~time:10 in
+  let v3 = Backoff.record_failure b ~key:3 ~time:20 in
+  checkb "budget 2 grants two retries" true
+    (match (v1, v2) with Backoff.Retry_at _, Backoff.Retry_at _ -> true | _ -> false);
+  checkb "third failure exhausts" true (v3 = Backoff.Exhausted);
+  checkb "exhausted sticks" true (Backoff.exhausted b ~key:3);
+  checkb "exhausted key is never ready" true (not (Backoff.ready b ~key:3 ~time:1000));
+  checkb "other keys unaffected" true (Backoff.ready b ~key:4 ~time:0)
+
+let test_backoff_ready () =
+  let b = Backoff.create ~base:4 ~cap:4 () in
+  (match Backoff.record_failure b ~key:1 ~time:10 with
+  | Backoff.Retry_at at -> checki "next try at time + base" 14 at
+  | Backoff.Exhausted -> Alcotest.fail "no budget given");
+  checkb "not ready before the schedule" true (not (Backoff.ready b ~key:1 ~time:13));
+  checkb "ready at the schedule" true (Backoff.ready b ~key:1 ~time:14)
+
+(* ------------------------------------------------------------------ *)
+(* Session state machine                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_session_lifecycle () =
+  let step state msg = Session.transition state msg in
+  let s0 = Session.Arriving in
+  let s1 = Option.get (step s0 (Session.Grant { session = 0; deadline = 8 })) in
+  checkb "grant admits" true (s1 = Session.Admitted);
+  let s2 = Option.get (step s1 (Session.First_chunk { session = 0; round = 3 })) in
+  checkb "first chunk streams" true (s2 = Session.Streaming);
+  let s3 = Option.get (step s2 (Session.Complete { session = 0; round = 33 })) in
+  checkb "complete ends" true (s3 = Session.Completed);
+  checkb "terminal" true (Session.is_terminal s3);
+  (* retry loop: park, rejoin, idempotent re-admission *)
+  let r1 = Option.get (step s0 (Session.Retry_after { session = 1; at = 5; attempt = 1 })) in
+  checkb "retry parks" true (r1 = Session.Retrying);
+  let r2 = Option.get (step r1 (Session.Join { session = 1; box = 2; video = 0 })) in
+  checkb "join re-enters" true (r2 = Session.Arriving);
+  (* terminal deny from the retry loop *)
+  let r3 =
+    Option.get (step r1 (Session.Deny { session = 1; reason = Session.Budget_exhausted }))
+  in
+  checkb "budget exhaustion rejects" true (r3 = Session.Rejected)
+
+let test_session_illegal_hops () =
+  let none state msg = Session.transition state msg = None in
+  checkb "no double admission" true
+    (none Session.Admitted (Session.Grant { session = 0; deadline = 1 }));
+  checkb "no messages after completion" true
+    (none Session.Completed (Session.Join { session = 0; box = 0; video = 0 }));
+  checkb "no messages after shed" true
+    (none Session.Shed (Session.Grant { session = 0; deadline = 1 }));
+  checkb "streaming cannot be granted again" true
+    (none Session.Streaming (Session.Grant { session = 0; deadline = 1 }));
+  checkb "retryable deny does not kill the retry loop" true
+    (Session.transition Session.Retrying
+       (Session.Deny { session = 0; reason = Session.Box_offline })
+    = None)
+
+(* ------------------------------------------------------------------ *)
+(* Serve runs                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let small_text =
+  {|n 32
+u 2.0
+d 4.0
+c 2
+k 3
+m 24
+mu 1.2
+duration 10
+rounds 50
+seed 42
+rate 2.0
+groups 4
+target_k 2
+budget 3
+transfer_rounds 3
+backoff 2 16
+at 15 group-crash 1
+at 20 flash 0 8
+at 35 group-rejoin 1
+kpi max-rejection 0.5
+|}
+
+let small_scenario () =
+  match Scenario.parse ~name:"serve_small" small_text with
+  | Ok s -> s
+  | Error m -> Alcotest.fail m
+
+let conservation (o : Serve.outcome) =
+  let t = o.Serve.totals in
+  t.Serve.arrivals
+  = t.Serve.completed + t.Serve.shed + t.Serve.rejected + o.Serve.live_at_end
+
+let test_graceful_small () =
+  let o = Result.get_ok (Serve.run (small_scenario ())) in
+  let t = o.Serve.totals in
+  checki "no admitted session ever stalled" 0 t.Serve.total_unserved;
+  checkb "sessions conserved: arrivals = completed + shed + rejected + live" true
+    (conservation o);
+  checkb "retries within budget x retry sessions" true
+    (t.Serve.retries <= t.Serve.retry_budget * t.Serve.retry_sessions);
+  checkb "verdict agrees" true (Serve.verdict_ok o);
+  checkb "the storm admitted someone" true (t.Serve.admitted > 0)
+
+let test_backpressure_bounds_queue () =
+  (* a tiny queue under a heavy arrival storm: overflow must shed
+     (oldest deadline first) and the queue must never exceed its cap *)
+  let cfg = Serve.config ~queue_cap:4 ~tokens_per_round:1 ~token_burst:1 () in
+  let o =
+    Result.get_ok
+      (Serve.run ~config:cfg ~arrivals:(Serve.Poisson 10.0) (small_scenario ()))
+  in
+  let t = o.Serve.totals in
+  checkb "queue stayed within its cap" true (t.Serve.max_queue <= 4);
+  checkb "overflow shed fired" true (t.Serve.overflow_shed > 0);
+  checki "still zero stalls among admitted" 0 t.Serve.total_unserved;
+  checkb "conservation under overload" true (conservation o)
+
+let overload_text =
+  (* an ISP bottleneck throttles half the fleet's upload at round 18
+     while heavily loaded: viewers stay live but capacity collapses, so
+     measured headroom goes negative and live sessions must be shed by
+     policy (a crash would remove the viewers with the capacity and
+     self-balance) *)
+  {|n 24
+u 1.5
+d 4.0
+c 2
+k 3
+m 16
+mu 2.0
+duration 20
+rounds 40
+seed 42
+rate 6.0
+groups 2
+target_k 2
+budget 2
+transfer_rounds 3
+backoff 2 16
+helpers 8 4.0 1.0
+at 18 group-degrade 1 0.1
+|}
+
+let overload_scenario () =
+  match Scenario.parse ~name:"serve_overload" overload_text with
+  | Ok s -> s
+  | Error m -> Alcotest.fail m
+
+let test_overload_sheds_by_policy () =
+  let run policy =
+    let cfg =
+      Serve.config ~headroom_margin:0.0 ~tokens_per_round:6 ~token_burst:12
+        ~shed_policy:policy ()
+    in
+    Result.get_ok (Serve.run ~config:cfg (overload_scenario ()))
+  in
+  let newest = run Serve.Newest_first in
+  let tn = newest.Serve.totals in
+  checkb "overload shed live sessions instead of letting them stall" true
+    (tn.Serve.overload_shed > 0);
+  (* the shortfall feedback needs a few rounds to measure the real
+     (post-bottleneck) capacity: stalls are a bounded transient, then
+     the service stays clean for the rest of the run *)
+  checkb "stalls are a short transient, not sustained" true (tn.Serve.stalled_rounds <= 5);
+  checkb "stall volume is bounded" true (tn.Serve.total_unserved <= 15);
+  checkb "service tripped degraded during the bottleneck" true
+    (tn.Serve.degraded_rounds > 0);
+  checkb "newest-first drafts no helpers" true (tn.Serve.helpers_drafted = 0);
+  checkb "conservation under the bottleneck" true (conservation newest);
+  let helper = run Serve.Helper_first in
+  let th = helper.Serve.totals in
+  checkb "helper-first drafts standby upload" true (th.Serve.helpers_drafted > 0);
+  (* drafting spare upload lets the service keep more viewers: it must
+     never shed more sessions than plain newest-first would *)
+  checkb "helper relief sheds no more sessions than newest-first" true
+    (th.Serve.overload_shed <= tn.Serve.overload_shed);
+  checkb "helper-first stalls stay a bounded transient too" true
+    (th.Serve.stalled_rounds <= 10 && th.Serve.total_unserved <= 25)
+
+let test_golden_pin () =
+  (* byte-pin of the vod-serve/1 stream for the canonical storm
+     scenario; regenerate with
+       dune exec bin/vodctl.exe -- serve --scn examples/service_storm.scn \
+         --rounds 60 --out test/serve_golden.jsonl *)
+  match Scenario.load ~path:"../examples/service_storm.scn" with
+  | Error m -> Alcotest.fail m
+  | Ok s ->
+      let o = Result.get_ok (Serve.run ~rounds:60 s) in
+      let golden = In_channel.with_open_text "serve_golden.jsonl" In_channel.input_all in
+      checks "vod-serve/1 matches the golden pin" golden o.Serve.jsonl
+
+let test_jobs_identity () =
+  let s = small_scenario () in
+  let cat jobs =
+    let os = Result.get_ok (Serve.run_many ~jobs ~replications:3 s) in
+    String.concat "" (List.map (fun o -> o.Serve.jsonl ^ o.Serve.slo_jsonl) os)
+  in
+  checks "jobs=1 and jobs=2 byte-identical" (cat 1) (cat 2)
+
+let test_arrivals_and_policy_names () =
+  checkb "scenario" true (Serve.arrivals_of_name "scenario" = Ok Serve.Scenario_rate);
+  checkb "poisson" true (Serve.arrivals_of_name "poisson:2.5" = Ok (Serve.Poisson 2.5));
+  checkb "zipf" true
+    (Serve.arrivals_of_name "zipf:2:1.1" = Ok (Serve.Zipf { rate = 2.0; s = 1.1 }));
+  checkb "bad spec is an error" true (Result.is_error (Serve.arrivals_of_name "poisson:x"));
+  checkb "unknown name is an error" true (Result.is_error (Serve.arrivals_of_name "bursty"));
+  List.iter
+    (fun p ->
+      checkb "policy names round-trip" true
+        (Serve.shed_policy_of_name (Serve.shed_policy_name p) = Ok p))
+    [ Serve.Newest_first; Serve.Lowest_priority; Serve.Helper_first ]
+
+(* ------------------------------------------------------------------ *)
+(* The graceful-degradation law (property)                             *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_cases =
+  [
+    QCheck.Test.make ~count:20 ~name:"serve never stalls an admitted session"
+      QCheck.(
+        quad (int_range 1 1000) (float_range 0.5 4.0) (int_range 5 20) (int_range 0 12))
+      (fun (seed, rate, crash_round, flash_viewers) ->
+        let base = small_scenario () in
+        let events =
+          [ (crash_round, Vod_fault.Plan.Group_crash 1) ]
+          @ (if flash_viewers > 0 then
+               [ (crash_round + 3, Vod_fault.Plan.Flash_crowd (0, flash_viewers)) ]
+             else [])
+          @ [ (crash_round + 15, Vod_fault.Plan.Group_rejoin 1) ]
+        in
+        let s = { base with Scenario.seed; rate; events; rounds = 45 } in
+        let o = Result.get_ok (Serve.run s) in
+        let t = o.Serve.totals in
+        t.Serve.total_unserved = 0
+        && t.Serve.retries <= t.Serve.retry_budget * t.Serve.retry_sessions
+        && conservation o);
+  ]
+
+let suites =
+  [
+    ( "serve.backoff",
+      [
+        Alcotest.test_case "exponential schedule" `Quick test_backoff_exponential;
+        Alcotest.test_case "jitter bounds" `Quick test_backoff_jitter_bounds;
+        Alcotest.test_case "seed determinism" `Quick test_backoff_seed_determinism;
+        Alcotest.test_case "budget exhaustion" `Quick test_backoff_budget;
+        Alcotest.test_case "readiness schedule" `Quick test_backoff_ready;
+      ] );
+    ( "serve.session",
+      [
+        Alcotest.test_case "lifecycle" `Quick test_session_lifecycle;
+        Alcotest.test_case "illegal hops" `Quick test_session_illegal_hops;
+      ] );
+    ( "serve.service",
+      [
+        Alcotest.test_case "graceful under storm" `Quick test_graceful_small;
+        Alcotest.test_case "backpressure bounds the queue" `Quick
+          test_backpressure_bounds_queue;
+        Alcotest.test_case "overload sheds by policy" `Quick test_overload_sheds_by_policy;
+        Alcotest.test_case "golden pin" `Quick test_golden_pin;
+        Alcotest.test_case "jobs byte-identity" `Quick test_jobs_identity;
+        Alcotest.test_case "names parse" `Quick test_arrivals_and_policy_names;
+      ] );
+    ("serve.properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
+  ]
